@@ -1,0 +1,57 @@
+//! Diagnostic: HDP-OSR error breakdown on a PENDIGITS 5+5 split.
+use hdp_osr_core::{HdpOsr, HdpOsrConfig, Prediction};
+use osr_dataset::protocol::{GroundTruth, OpenSetSplit, SplitConfig};
+use osr_dataset::synthetic::pendigits_config;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let data = pendigits_config().scaled(0.2).generate(&mut rng);
+    let split = OpenSetSplit::sample(&data, &SplitConfig::new(5, 5), &mut rng).unwrap();
+    let rho: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.5);
+    let nu_off: f64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(3.0);
+    let config = HdpOsrConfig { iterations: 30, rho, nu_offset: nu_off, ..Default::default() };
+    let model = HdpOsr::fit(&config, &split.train).unwrap();
+    let out = model.classify_detailed(&split.test.points, &mut rng).unwrap();
+    println!("rho {rho} nu_offset {nu_off}");
+    let mut k_correct = 0; let mut k_wrong = 0; let mut k_rej = 0;
+    let mut u_rej = 0; let mut u_acc = 0;
+    for (p, t) in out.predictions.iter().zip(&split.test.truth) {
+        match (p, t) {
+            (Prediction::Known(a), GroundTruth::Known(b)) if a == b => k_correct += 1,
+            (Prediction::Known(_), GroundTruth::Known(_)) => k_wrong += 1,
+            (Prediction::Unknown, GroundTruth::Known(_)) => k_rej += 1,
+            (Prediction::Unknown, GroundTruth::Unknown) => u_rej += 1,
+            (Prediction::Known(_), GroundTruth::Unknown) => u_acc += 1,
+        }
+    }
+    println!("known: correct {k_correct} wrong {k_wrong} rejected {k_rej}");
+    println!("unknown: rejected {u_rej} accepted {u_acc}");
+    println!("gamma {:.1} alpha {:.2} dishes: known_sub {} new_sub {} delta {}",
+        out.gamma, out.alpha,
+        out.report.n_known_subclasses(), out.report.n_new_subclasses(), out.report.delta_estimate);
+    for g in &out.report.known {
+        println!("{}: {:?}", g.name, g.subclasses.iter().map(|&(d,c,_)| (d,c)).collect::<Vec<_>>());
+    }
+    // Which dishes hold accepted unknowns?
+    use std::collections::BTreeMap;
+    let mut absorbed: BTreeMap<usize, usize> = BTreeMap::new();
+    for ((p, t), &dish) in out.predictions.iter().zip(&split.test.truth).zip(&out.test_dishes) {
+        if matches!(t, GroundTruth::Unknown) && matches!(p, Prediction::Known(_)) {
+            *absorbed.entry(dish).or_insert(0) += 1;
+        }
+    }
+    println!("absorbing dishes (dish -> count of accepted unknowns): {absorbed:?}");
+    // How many KNOWN test points sit on each absorbing dish?
+    let mut known_on: BTreeMap<usize, usize> = BTreeMap::new();
+    for (t, &dish) in split.test.truth.iter().zip(&out.test_dishes) {
+        if matches!(t, GroundTruth::Known(_)) && absorbed.contains_key(&dish) {
+            *known_on.entry(dish).or_insert(0) += 1;
+        }
+    }
+    println!("known test points on absorbing dishes: {known_on:?}");
+}
+
+// (extended diagnostics appended below main in a helper module would be
+// cleaner; quick instrumentation lives in main above)

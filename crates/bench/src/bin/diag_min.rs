@@ -1,0 +1,70 @@
+//! Minimal reproduction: one known 16-d cluster; test batch = half same
+//! cluster, half a sibling cluster at a controlled Mahalanobis offset.
+//! Watches dish structure over sweeps to diagnose absorption.
+
+use osr_hdp::{Hdp, HdpConfig};
+use osr_linalg::Matrix;
+use osr_stats::{sampling, NiwParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cluster<R: rand::Rng>(rng: &mut R, center: &[f64], n: usize, std: f64) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| center.iter().map(|&c| c + std * sampling::standard_normal(rng)).collect())
+        .collect()
+}
+
+fn main() {
+    let d = 16;
+    let offset_sigma: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4.0);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // Known cluster at a "class center" away from the global mean, like the
+    // real replica geometry (grand mean is the average of several classes).
+    let known_center: Vec<f64> = (0..d).map(|i| if i % 2 == 0 { 3.0 } else { -3.0 }).collect();
+    // Sibling center displaced by offset_sigma * sqrt(2) * width along a
+    // random direction.
+    let mut dir: Vec<f64> = (0..d).map(|_| sampling::standard_normal(&mut rng)).collect();
+    let norm = osr_linalg::vector::norm(&dir);
+    let shift = offset_sigma * (2.0f64).sqrt();
+    for v in &mut dir {
+        *v *= shift / norm;
+    }
+    let sibling_center: Vec<f64> = known_center.iter().zip(&dir).map(|(a, b)| a + b).collect();
+
+    let train = cluster(&mut rng, &known_center, 120, 1.0);
+    let mut test = cluster(&mut rng, &known_center, 60, 1.0);
+    test.extend(cluster(&mut rng, &sibling_center, 60, 1.0));
+
+    // Base measure like HdpOsr::fit would derive: mu0 = train mean, psi0 =
+    // rho * within covariance.
+    let refs: Vec<&[f64]> = train.iter().map(Vec::as_slice).collect();
+    let mu0 = osr_linalg::vector::mean(&refs).unwrap();
+    let mut psi0 = Matrix::covariance(&refs, d);
+    psi0.scale_in_place(0.5);
+    let params = NiwParams::new(mu0, 1.0, d as f64 + 3.0, psi0).unwrap();
+
+    let config = HdpConfig::default();
+    let mut hdp = Hdp::new(params, config, vec![train, test.clone()]).unwrap();
+    for sweep in 0..15 {
+        hdp.sweep(&mut rng);
+        if sweep % 3 == 2 {
+            let g0 = hdp.group_summary(0);
+            let g1 = hdp.group_summary(1);
+            // How many sibling points (indices 60..120 of group 1) share a
+            // dish with group 0?
+            let known_dishes: std::collections::HashSet<_> =
+                g0.dish_counts.iter().map(|&(id, _)| id).collect();
+            let absorbed = (60..120).filter(|&i| known_dishes.contains(&hdp.dish_of(1, i))).count();
+            println!(
+                "sweep {:2}: dishes {} tables {} | train dishes {:?} | test dishes {:?} | absorbed sibling pts {}",
+                sweep + 1,
+                hdp.n_dishes(),
+                hdp.total_tables(),
+                g0.dish_counts,
+                g1.dish_counts,
+                absorbed
+            );
+        }
+    }
+}

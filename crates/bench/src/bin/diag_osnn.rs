@@ -1,0 +1,26 @@
+//! Diagnostic: OSNN distance-ratio distribution on the PENDIGITS replica.
+use osr_baselines::{OpenSetClassifier, Osnn, OsnnParams};
+use osr_dataset::protocol::{GroundTruth, OpenSetSplit, SplitConfig};
+use osr_dataset::synthetic::pendigits_config;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = pendigits_config().scaled(0.2).generate(&mut rng);
+    let split = OpenSetSplit::sample(&data, &SplitConfig::new(5, 0), &mut rng).unwrap();
+    let (pts, labels) = split.train.flattened();
+    for sigma in [0.5, 0.7, 0.8, 0.9, 0.95] {
+        let m = Osnn::train(&pts, &labels, 5, &OsnnParams { sigma }).unwrap();
+        let preds = m.predict_batch(&split.test.points);
+        let mut correct = 0; let mut rejected = 0; let mut wrong = 0;
+        for (p, t) in preds.iter().zip(&split.test.truth) {
+            match (p, t) {
+                (osr_dataset::protocol::Prediction::Known(a), GroundTruth::Known(b)) if a == b => correct += 1,
+                (osr_dataset::protocol::Prediction::Unknown, _) => rejected += 1,
+                _ => wrong += 1,
+            }
+        }
+        println!("sigma {sigma}: correct {correct} rejected {rejected} wrong {wrong} / {}", preds.len());
+    }
+}

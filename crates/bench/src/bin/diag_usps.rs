@@ -1,0 +1,42 @@
+//! Diagnostic: HDP-OSR hyperparameter behaviour on the 39-d USPS replica.
+
+use hdp_osr_core::{HdpOsr, HdpOsrConfig, Prediction};
+use osr_dataset::protocol::{GroundTruth, OpenSetSplit, SplitConfig};
+use osr_eval::metrics::micro_f_measure;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let raw = osr_dataset::synthetic::usps_raw_scaled(&mut rng, 0.2);
+    let data = osr_dataset::synthetic::project_with_pca(raw, 39);
+    for n_unknown in [2usize, 5] {
+        let mut srng = StdRng::seed_from_u64(7);
+        let split =
+            OpenSetSplit::sample(&data, &SplitConfig::new(5, n_unknown), &mut srng).unwrap();
+        for (rho, nu) in [(2.0, 0.0), (4.0, 0.0), (8.0, 0.0), (16.0, 0.0), (4.0, 3.0)] {
+            let cfg = HdpOsrConfig { rho, nu_offset: nu, iterations: 20, ..Default::default() };
+            let model = HdpOsr::fit(&cfg, &split.train).unwrap();
+            let mut crng = StdRng::seed_from_u64(1);
+            let preds = model.classify(&split.test.points, &mut crng).unwrap();
+            let f = micro_f_measure(&preds, &split.test.truth);
+            let mut k_ok = 0;
+            let mut u_rej = 0;
+            let mut u_tot = 0;
+            for (p, t) in preds.iter().zip(&split.test.truth) {
+                match (p, t) {
+                    (Prediction::Known(a), GroundTruth::Known(b)) if a == b => k_ok += 1,
+                    (Prediction::Unknown, GroundTruth::Unknown) => {
+                        u_rej += 1;
+                        u_tot += 1;
+                    }
+                    (_, GroundTruth::Unknown) => u_tot += 1,
+                    _ => {}
+                }
+            }
+            println!(
+                "unknown {n_unknown} rho {rho:>4} nu {nu} | F {f:.3} k_ok {k_ok} u_rej {u_rej}/{u_tot}"
+            );
+        }
+    }
+}

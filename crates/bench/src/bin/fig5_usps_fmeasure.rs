@@ -1,0 +1,22 @@
+//! Figure 5: F-measure vs openness on the USPS replica (PCA → 39 dims).
+//!
+//! Paper shape: HDP-OSR well above 1-vs-Set / W-SVM / P_I-SVM as openness
+//! grows; OSNN overtakes HDP-OSR past ~12 % openness but is clearly worse
+//! at openness 0; W-OSVM is so poor it is omitted from the paper's plot.
+
+use osr_bench::harness::{run_figure, usps_dataset, Metric, Options};
+
+fn main() {
+    let opts = Options::from_args();
+    let data = usps_dataset(&opts);
+    run_figure(
+        "fig5",
+        "HDP-OSR ≫ 1-vs-Set/W-SVM/PI-SVM at high openness; OSNN most stable \
+         and ahead past ~12 %, but weakest at openness 0; W-OSVM very poor",
+        &data,
+        5,
+        &[0, 1, 2, 3, 4, 5],
+        Metric::FMeasure,
+        &opts,
+    );
+}

@@ -1,0 +1,22 @@
+//! Figure 6: F-measure vs openness on the PENDIGITS replica.
+//!
+//! Paper shape: HDP-OSR much higher than every other method as openness
+//! increases, and almost unchanged across the whole sweep.
+
+use osr_bench::harness::{run_figure, Metric, Options};
+use osr_dataset::synthetic::pendigits_config;
+
+fn main() {
+    let opts = Options::from_args();
+    let data = opts.dataset(pendigits_config());
+    run_figure(
+        "fig6",
+        "HDP-OSR much higher than all baselines with increasing openness; \
+         HDP-OSR curve almost flat",
+        &data,
+        5,
+        &[0, 1, 2, 3, 4, 5],
+        Metric::FMeasure,
+        &opts,
+    );
+}

@@ -1,0 +1,21 @@
+//! Figure 8: open-set recognition accuracy vs openness on USPS.
+//!
+//! Paper shape: OSNN best past ~6 % openness, HDP-OSR second and ahead of
+//! all SVM-based methods; OSNN below HDP-OSR at openness 0; W-OSVM omitted.
+
+use osr_bench::harness::{run_figure, usps_dataset, Metric, Options};
+
+fn main() {
+    let opts = Options::from_args();
+    let data = usps_dataset(&opts);
+    run_figure(
+        "fig8",
+        "OSNN best beyond ~6 % openness, HDP-OSR next; HDP-OSR better at \
+         openness 0; W-OSVM very poor",
+        &data,
+        5,
+        &[0, 1, 2, 3, 4, 5],
+        Metric::Accuracy,
+        &opts,
+    );
+}

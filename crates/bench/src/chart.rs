@@ -1,0 +1,140 @@
+//! Terminal line charts for the figure binaries: renders the openness sweep
+//! as an ASCII plot so a reproduction run *looks like* the paper's figure
+//! without leaving the terminal.
+
+/// One series to plot: a label and its `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points, any order; x is openness, y the metric.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render series into a `width × height` ASCII grid with axes and legend.
+///
+/// Each series draws with its own marker character; overlapping cells show
+/// the later series. Y spans `[y_min, y_max]` (clamped values land on the
+/// border); x spans the data range.
+pub fn render(series: &[Series], width: usize, height: usize, y_min: f64, y_max: f64) -> String {
+    assert!(width >= 16 && height >= 4, "chart: grid too small");
+    assert!(y_max > y_min, "chart: empty y range");
+    const MARKERS: [char; 8] = ['o', '*', '+', 'x', '#', '@', '%', '&'];
+
+    let xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    if xs.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let x_min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let x_max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let x_span = (x_max - x_min).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        let mut pts: Vec<(f64, f64)> = s.points.clone();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+        // Plot points and connect consecutive ones with linear interpolation.
+        let cell = |x: f64, y: f64| -> (usize, usize) {
+            let cx = ((x - x_min) / x_span * (width - 1) as f64).round() as usize;
+            let cy = ((y.clamp(y_min, y_max) - y_min) / (y_max - y_min)
+                * (height - 1) as f64)
+                .round() as usize;
+            (cx.min(width - 1), height - 1 - cy.min(height - 1))
+        };
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let steps = width.max(2);
+            for t in 0..=steps {
+                let f = t as f64 / steps as f64;
+                let (cx, cy) = cell(x0 + f * (x1 - x0), y0 + f * (y1 - y0));
+                grid[cy][cx] = marker;
+            }
+        }
+        for &(x, y) in &pts {
+            let (cx, cy) = cell(x, y);
+            grid[cy][cx] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let y_here = y_max - (y_max - y_min) * r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_here:6.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:6} +{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:6}  {:<10}{:>width$}\n",
+        "",
+        format!("{:.1}%", x_min * 100.0),
+        format!("openness {:.1}%", x_max * 100.0),
+        width = width.saturating_sub(10)
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", MARKERS[si % MARKERS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "flat".into(),
+                points: vec![(0.0, 0.95), (0.1, 0.95), (0.2, 0.94)],
+            },
+            Series {
+                label: "falling".into(),
+                points: vec![(0.0, 0.95), (0.1, 0.7), (0.2, 0.5)],
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_axes_legend_and_markers() {
+        let chart = render(&two_series(), 40, 12, 0.4, 1.0);
+        assert!(chart.contains("o flat"));
+        assert!(chart.contains("* falling"));
+        assert!(chart.contains("openness 20.0%"));
+        assert!(chart.contains('|'));
+        assert!(chart.contains('+'));
+        // Both markers appear in the plotting area.
+        assert!(chart.matches('o').count() > 3);
+        assert!(chart.matches('*').count() > 3);
+    }
+
+    #[test]
+    fn flat_series_stays_on_one_row() {
+        let s = vec![Series { label: "flat".into(), points: vec![(0.0, 0.8), (1.0, 0.8)] }];
+        let chart = render(&s, 30, 10, 0.0, 1.0);
+        let rows_with_marker =
+            chart.lines().filter(|l| l.contains('o') && l.contains('|')).count();
+        assert_eq!(rows_with_marker, 1, "flat line spilled over rows:\n{chart}");
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let s = vec![Series { label: "wild".into(), points: vec![(0.0, -5.0), (1.0, 5.0)] }];
+        let chart = render(&s, 30, 8, 0.0, 1.0);
+        // Must not panic, and markers land on the borders.
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn empty_series_render_placeholder() {
+        let s = vec![Series { label: "none".into(), points: vec![] }];
+        assert_eq!(render(&s, 30, 8, 0.0, 1.0), "(no data)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "grid too small")]
+    fn tiny_grid_is_rejected() {
+        let _ = render(&two_series(), 4, 2, 0.0, 1.0);
+    }
+}

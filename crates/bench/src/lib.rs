@@ -1,0 +1,7 @@
+//! Reproduction harness for the paper's evaluation section.
+//!
+//! One binary per figure/table lives in `src/bin/`; shared sweep plumbing is
+//! in [`harness`]. Criterion microbenches live in `benches/`.
+
+pub mod chart;
+pub mod harness;

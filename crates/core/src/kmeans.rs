@@ -1,0 +1,317 @@
+//! K-means refinement of discovered subclasses (paper §4.3).
+//!
+//! HDP-OSR discovers unknown categories at *subclass* granularity — the true
+//! labels being unavailable, newly generated subcategories cannot be
+//! aggregated by the sampler itself. The paper proposes using the Eq. 11
+//! estimate Δ "as a prior for the other clustering algorithms such as
+//! K-means to further discover the real categories among the unknown
+//! subcategories". [`refine_unknown_classes`] implements exactly that
+//! pipeline: collect the test points living on new subclasses, run K-means
+//! with `k = Δ`, and return the inferred unknown-category structure.
+
+use rand::Rng;
+
+use osr_linalg::vector;
+
+use crate::decision::{ClassifyOutcome, Prediction};
+
+/// A K-means clustering result.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index per input point.
+    pub assignment: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// Lloyd's algorithm with k-means++ seeding.
+///
+/// Runs until assignments stabilize or `max_iter` passes. Empty clusters are
+/// re-seeded on the farthest point, so exactly `k` clusters survive whenever
+/// `points.len() >= k`.
+///
+/// # Panics
+/// Panics when `k == 0` or `points` is empty.
+pub fn kmeans<R: Rng + ?Sized>(
+    points: &[&[f64]],
+    k: usize,
+    max_iter: usize,
+    rng: &mut R,
+) -> KMeansResult {
+    assert!(k > 0, "kmeans: k must be positive");
+    assert!(!points.is_empty(), "kmeans: no points");
+    let k = k.min(points.len());
+
+    let mut centroids = plus_plus_seeds(points, k, rng);
+    let mut assignment = vec![0usize; points.len()];
+    let mut iterations = 0;
+
+    for _ in 0..max_iter.max(1) {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = nearest(p, &centroids);
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let dim = points[0].len();
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignment) {
+            vector::axpy(1.0, p, &mut sums[a]);
+            counts[a] += 1;
+        }
+        for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if count > 0 {
+                *c = sum.iter().map(|s| s / count as f64).collect();
+            }
+        }
+        // Re-seed empty clusters on the globally farthest point.
+        for c in 0..k {
+            if counts[c] == 0 {
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        let da = dist_to_nearest(a, &centroids);
+                        let db = dist_to_nearest(b, &centroids);
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty points");
+                centroids[c] = points[far].to_vec();
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignment)
+        .map(|(p, &a)| vector::dist_sq(p, &centroids[a]))
+        .sum();
+    KMeansResult { centroids, assignment, inertia, iterations }
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+    let mut best = (f64::INFINITY, 0usize);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = vector::dist_sq(p, c);
+        if d < best.0 {
+            best = (d, i);
+        }
+    }
+    best.1
+}
+
+fn dist_to_nearest(p: &[f64], centroids: &[Vec<f64>]) -> f64 {
+    centroids.iter().map(|c| vector::dist_sq(p, c)).fold(f64::INFINITY, f64::min)
+}
+
+/// k-means++ seeding: first centroid uniform, each next one with probability
+/// proportional to squared distance from the chosen set.
+fn plus_plus_seeds<R: Rng + ?Sized>(points: &[&[f64]], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].to_vec());
+    while centroids.len() < k {
+        let weights: Vec<f64> =
+            points.iter().map(|p| dist_to_nearest(p, &centroids).max(1e-300)).collect();
+        let idx = osr_stats::sampling::categorical(rng, &weights);
+        centroids.push(points[idx].to_vec());
+    }
+    centroids
+}
+
+/// One refined unknown category: its centroid and member test-point indices.
+#[derive(Debug, Clone)]
+pub struct RefinedUnknownClass {
+    /// Centroid in feature space.
+    pub centroid: Vec<f64>,
+    /// Indices (into the original test batch) of its members.
+    pub members: Vec<usize>,
+}
+
+/// The paper's §4.3 pipeline: take the test points HDP-OSR rejected (they
+/// live on newly discovered subclasses), and aggregate those subclasses into
+/// `Δ` real unknown categories with K-means seeded by the Eq. 11 estimate.
+///
+/// Returns an empty vector when nothing was rejected or Δ = 0.
+pub fn refine_unknown_classes<R: Rng + ?Sized>(
+    outcome: &ClassifyOutcome,
+    test_points: &[Vec<f64>],
+    rng: &mut R,
+) -> Vec<RefinedUnknownClass> {
+    assert_eq!(
+        outcome.predictions.len(),
+        test_points.len(),
+        "refine_unknown_classes: outcome does not match the test batch"
+    );
+    let unknown_idx: Vec<usize> = outcome
+        .predictions
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| (*p == Prediction::Unknown).then_some(i))
+        .collect();
+    let delta = outcome.report.delta_estimate;
+    if unknown_idx.is_empty() || delta == 0 {
+        return Vec::new();
+    }
+    let rejected: Vec<&[f64]> = unknown_idx.iter().map(|&i| test_points[i].as_slice()).collect();
+    let km = kmeans(&rejected, delta, 100, rng);
+    let k = km.centroids.len();
+    let mut classes: Vec<RefinedUnknownClass> = km
+        .centroids
+        .into_iter()
+        .map(|centroid| RefinedUnknownClass { centroid, members: Vec::new() })
+        .collect();
+    for (local, &global) in unknown_idx.iter().enumerate() {
+        let a = km.assignment[local];
+        debug_assert!(a < k);
+        classes[a].members.push(global);
+    }
+    classes.retain(|c| !c.members.is_empty());
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osr_stats::sampling;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs(rng: &mut StdRng, centers: &[[f64; 2]], n_per: usize, std: f64) -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for c in centers {
+            for _ in 0..n_per {
+                pts.push(vec![
+                    c[0] + std * sampling::standard_normal(rng),
+                    c[1] + std * sampling::standard_normal(rng),
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_well_separated_clusters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = blobs(&mut rng, &[[-10.0, 0.0], [10.0, 0.0], [0.0, 10.0]], 30, 0.5);
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        let km = kmeans(&refs, 3, 100, &mut rng);
+        // Each true blob maps to exactly one k-means cluster.
+        for blob in 0..3 {
+            let first = km.assignment[blob * 30];
+            for i in 0..30 {
+                assert_eq!(km.assignment[blob * 30 + i], first, "blob {blob} split");
+            }
+        }
+        assert!(km.inertia < 30.0 * 3.0, "inertia {:.1}", km.inertia);
+    }
+
+    #[test]
+    fn k_capped_at_point_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = [vec![0.0], vec![1.0]];
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        let km = kmeans(&refs, 5, 50, &mut rng);
+        assert_eq!(km.centroids.len(), 2);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_the_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = [vec![0.0, 0.0], vec![2.0, 0.0], vec![0.0, 2.0], vec![2.0, 2.0]];
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        let km = kmeans(&refs, 1, 50, &mut rng);
+        assert!((km.centroids[0][0] - 1.0).abs() < 1e-12);
+        assert!((km.centroids[0][1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_under_seed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = blobs(&mut rng, &[[-5.0, 0.0], [5.0, 0.0]], 20, 1.0);
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        let a = kmeans(&refs, 2, 100, &mut StdRng::seed_from_u64(9));
+        let b = kmeans(&refs, 2, 100, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts = [vec![0.0]];
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        let _ = kmeans(&refs, 0, 10, &mut rng);
+    }
+
+    #[test]
+    fn refinement_aggregates_rejected_points() {
+        use crate::{HdpOsr, HdpOsrConfig};
+        use osr_dataset::protocol::TrainSet;
+        let mut rng = StdRng::seed_from_u64(6);
+        // One known class; test = knowns + two unknown clusters.
+        let known = blobs(&mut rng, &[[0.0, 0.0], [8.0, 8.0]], 30, 0.5);
+        let train = TrainSet {
+            class_ids: vec![0, 1],
+            classes: vec![known[..30].to_vec(), known[30..].to_vec()],
+        };
+        let mut test = blobs(&mut rng, &[[0.0, 0.0]], 10, 0.5);
+        test.extend(blobs(&mut rng, &[[-9.0, 9.0], [9.0, -9.0]], 15, 0.5));
+
+        let cfg = HdpOsrConfig { iterations: 10, ..Default::default() };
+        let model = HdpOsr::fit(&cfg, &train).unwrap();
+        let outcome = model.classify_detailed(&test, &mut rng).unwrap();
+        let refined = refine_unknown_classes(&outcome, &test, &mut rng);
+
+        // Members must exactly cover the rejected points.
+        let rejected: Vec<usize> = outcome
+            .predictions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| (*p == Prediction::Unknown).then_some(i))
+            .collect();
+        let mut covered: Vec<usize> =
+            refined.iter().flat_map(|c| c.members.iter().copied()).collect();
+        covered.sort_unstable();
+        assert_eq!(covered, rejected);
+        // With two clearly distinct unknown clusters we expect ≥ 1 class and
+        // centroids inside the data range.
+        assert!(!refined.is_empty());
+        for c in &refined {
+            assert!(c.centroid.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn refinement_of_all_accepted_batch_is_empty() {
+        use crate::{HdpOsr, HdpOsrConfig};
+        use osr_dataset::protocol::TrainSet;
+        let mut rng = StdRng::seed_from_u64(7);
+        let known = blobs(&mut rng, &[[0.0, 0.0], [8.0, 8.0]], 30, 0.5);
+        let train = TrainSet {
+            class_ids: vec![0, 1],
+            classes: vec![known[..30].to_vec(), known[30..].to_vec()],
+        };
+        let test = blobs(&mut rng, &[[0.0, 0.0]], 12, 0.5);
+        let cfg = HdpOsrConfig { iterations: 8, ..Default::default() };
+        let model = HdpOsr::fit(&cfg, &train).unwrap();
+        let outcome = model.classify_detailed(&test, &mut rng).unwrap();
+        if outcome.predictions.iter().all(|p| matches!(p, Prediction::Known(_))) {
+            assert!(refine_unknown_classes(&outcome, &test, &mut rng).is_empty());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! HDP-OSR — the paper's contribution: open set recognition by collective
+//! decision under a Hierarchical Dirichlet Process.
+//!
+//! Each known class of the training set becomes one HDP *group*; the entire
+//! test batch becomes one more group; all `J` groups are co-clustered with
+//! the collapsed Gibbs sampler of [`osr_hdp`]. Because a DP mixture always
+//! reserves probability `γ/(m_·· + γ)` for a brand-new mixture component
+//! (the paper's Proposition 1), test points that no known class explains
+//! spawn *new* subclasses instead of being absorbed — the model rejects
+//! unknowns without any score threshold, and discovers the new categories
+//! at subclass granularity as a by-product.
+//!
+//! The pipeline:
+//!
+//! 1. [`HdpOsr::fit`] — derive the base measure `H` from the training data
+//!    (μ₀ = training mean, Σ₀ = ρ × pooled within-class covariance, Eq. 10)
+//!    and store the per-class groups.
+//! 2. [`HdpOsr::classify`] / [`HdpOsr::classify_detailed`] — append the
+//!    test batch as group `J`, run the sampler (30 sweeps by default),
+//!    prune subclasses carrying less than ϱ = 1 % of their group, associate
+//!    each surviving subclass with the known classes that use it, and label
+//!    every test point by its subclass's association (or
+//!    [`Prediction::Unknown`] when it has none).
+//! 3. [`discovery`] — estimate the number of unknown categories from the
+//!    subclass counts (Eq. 11, reproduced in Tables 1–2).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod decision;
+pub mod discovery;
+pub mod inductive;
+pub mod kmeans;
+mod model;
+
+pub use decision::{ClassifyOutcome, Prediction};
+pub use discovery::SubclassReport;
+pub use inductive::FrozenModel;
+pub use kmeans::{kmeans, refine_unknown_classes, KMeansResult, RefinedUnknownClass};
+pub use model::{HdpOsr, HdpOsrConfig};
+
+/// Errors produced by the HDP-OSR pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OsrError {
+    /// The training set was unusable.
+    InvalidTrainingSet(String),
+    /// The test batch was unusable.
+    InvalidTestSet(String),
+    /// Invalid configuration value.
+    InvalidConfig(String),
+    /// Propagated sampler failure.
+    Hdp(osr_hdp::HdpError),
+    /// Propagated statistics failure.
+    Stats(osr_stats::StatsError),
+}
+
+impl std::fmt::Display for OsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidTrainingSet(m) => write!(f, "invalid training set: {m}"),
+            Self::InvalidTestSet(m) => write!(f, "invalid test set: {m}"),
+            Self::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            Self::Hdp(e) => write!(f, "sampler failure: {e}"),
+            Self::Stats(e) => write!(f, "statistics failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OsrError {}
+
+impl From<osr_hdp::HdpError> for OsrError {
+    fn from(e: osr_hdp::HdpError) -> Self {
+        Self::Hdp(e)
+    }
+}
+
+impl From<osr_stats::StatsError> for OsrError {
+    fn from(e: osr_stats::StatsError) -> Self {
+        Self::Stats(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, OsrError>;

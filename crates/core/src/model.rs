@@ -1,0 +1,559 @@
+//! The HDP-OSR model: prior construction (fit) and transductive
+//! classification of a test batch (classify).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use osr_dataset::protocol::TrainSet;
+use osr_hdp::{DishId, Hdp, HdpConfig};
+use osr_linalg::Matrix;
+use osr_stats::NiwParams;
+
+use crate::decision::{Associations, ClassifyOutcome, Prediction};
+use crate::discovery::{estimate_unknown_classes, GroupSubclasses, SubclassReport};
+use crate::{OsrError, Result};
+
+/// Configuration of HDP-OSR (§4.1.2 defaults).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HdpOsrConfig {
+    /// β — the NIW mean pseudo-count κ₀. Paper: 1.
+    pub beta: f64,
+    /// ν = d + `nu_offset` degrees of freedom for the Wishart part; the
+    /// paper selects ν from `{d, d+1, …, d+20}`.
+    pub nu_offset: f64,
+    /// ρ — scale of Σ₀ relative to the pooled within-class covariance
+    /// (Eq. 10); the paper selects ρ from `{0.1, 0.2, …, 1.0}`.
+    pub rho: f64,
+    /// ϱ — a subclass is dropped from its group's composition when it holds
+    /// less than this fraction of the group's items. Paper: 0.01.
+    pub varrho: f64,
+    /// Gibbs sweeps per classification. Paper: 30.
+    pub iterations: usize,
+    /// Gamma prior on the top-level concentration γ. Paper: Gamma(100, 1).
+    pub gamma_prior: (f64, f64),
+    /// Gamma prior on the group-level concentration α₀. Paper: Gamma(10, 1).
+    pub alpha_prior: (f64, f64),
+    /// Resample the concentrations each sweep.
+    pub resample_concentrations: bool,
+    /// Number of posterior states the collective decision votes over. `1`
+    /// (the paper's behaviour) decides from the final Gibbs state; larger
+    /// values run that many *extra* sweeps after burn-in and take a
+    /// per-point majority over them — a cheap posterior average that
+    /// smooths single-state sampling noise.
+    pub decision_sweeps: usize,
+}
+
+impl Default for HdpOsrConfig {
+    fn default() -> Self {
+        Self {
+            beta: 1.0,
+            nu_offset: 0.0,
+            rho: 4.0,
+            varrho: 0.01,
+            iterations: 30,
+            gamma_prior: (100.0, 1.0),
+            alpha_prior: (10.0, 1.0),
+            resample_concentrations: true,
+            decision_sweeps: 1,
+        }
+    }
+}
+
+impl HdpOsrConfig {
+    fn validate(&self) -> Result<()> {
+        if !(self.beta > 0.0) {
+            return Err(OsrError::InvalidConfig(format!("beta must be > 0, got {}", self.beta)));
+        }
+        if !(self.nu_offset >= 0.0) {
+            return Err(OsrError::InvalidConfig(format!(
+                "nu_offset must be ≥ 0, got {}",
+                self.nu_offset
+            )));
+        }
+        if !(self.rho > 0.0) {
+            return Err(OsrError::InvalidConfig(format!("rho must be > 0, got {}", self.rho)));
+        }
+        if !(0.0..1.0).contains(&self.varrho) {
+            return Err(OsrError::InvalidConfig(format!(
+                "varrho must be in [0,1), got {}",
+                self.varrho
+            )));
+        }
+        if self.iterations == 0 {
+            return Err(OsrError::InvalidConfig("iterations must be ≥ 1".into()));
+        }
+        if self.decision_sweeps == 0 {
+            return Err(OsrError::InvalidConfig("decision_sweeps must be ≥ 1".into()));
+        }
+        Ok(())
+    }
+
+    fn hdp_config(&self) -> HdpConfig {
+        HdpConfig {
+            gamma_prior: self.gamma_prior,
+            alpha_prior: self.alpha_prior,
+            resample_concentrations: self.resample_concentrations,
+            iterations: self.iterations,
+        }
+    }
+}
+
+/// A fitted HDP-OSR model: the base measure derived from the training data
+/// plus the per-class training groups (kept because classification is
+/// transductive — train and test are co-clustered).
+#[derive(Debug, Clone)]
+pub struct HdpOsr {
+    config: HdpOsrConfig,
+    params: NiwParams,
+    classes: Vec<Vec<Vec<f64>>>,
+    dim: usize,
+}
+
+impl HdpOsr {
+    /// Derive the NIW base measure from the training set (Eq. 9–10): prior
+    /// mean = mean of all training samples, prior scale Σ₀ = ρ × pooled
+    /// within-class covariance, κ₀ = β, ν = d + `nu_offset`.
+    ///
+    /// # Errors
+    /// Fails on an empty/degenerate training set or invalid configuration.
+    /// A rank-deficient pooled covariance is repaired with diagonal jitter.
+    pub fn fit(config: &HdpOsrConfig, train: &TrainSet) -> Result<Self> {
+        config.validate()?;
+        if train.n_classes() == 0 || train.total_points() == 0 {
+            return Err(OsrError::InvalidTrainingSet("no training data".into()));
+        }
+        let dim = train.dim();
+        if dim == 0 {
+            return Err(OsrError::InvalidTrainingSet("zero-dimensional data".into()));
+        }
+        for (c, class) in train.classes.iter().enumerate() {
+            if class.is_empty() {
+                return Err(OsrError::InvalidTrainingSet(format!("class {c} is empty")));
+            }
+            if class.iter().any(|p| p.len() != dim) {
+                return Err(OsrError::InvalidTrainingSet(format!(
+                    "class {c} has inconsistent dimensions"
+                )));
+            }
+        }
+
+        // μ₀ = mean of the training samples.
+        let all: Vec<&[f64]> = train.classes.iter().flatten().map(Vec::as_slice).collect();
+        let mu0 = osr_linalg::vector::mean(&all).expect("non-empty training set");
+
+        // Σ₀ = ρ × pooled within-class covariance (Eq. 10).
+        let n_total = all.len();
+        let j_minus_1 = train.n_classes();
+        let mut pooled = Matrix::zeros(dim, dim);
+        for class in &train.classes {
+            let refs: Vec<&[f64]> = class.iter().map(Vec::as_slice).collect();
+            let cov = Matrix::covariance(&refs, dim);
+            pooled.add_scaled((class.len().saturating_sub(1)) as f64, &cov);
+        }
+        let denom = (n_total as f64 - j_minus_1 as f64).max(1.0);
+        pooled.scale_in_place(config.rho / denom);
+
+        let nu = dim as f64 + config.nu_offset;
+        let params = build_niw_with_jitter(mu0, config.beta, nu, pooled)?;
+        Ok(Self { config: *config, params, classes: train.classes.clone(), dim })
+    }
+
+    /// Feature dimension the model expects.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of known classes.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The derived base-measure hyperparameters (for inspection/tests).
+    pub fn params(&self) -> &NiwParams {
+        &self.params
+    }
+
+    /// The stored per-class training points (needed by the inductive
+    /// [`crate::inductive::FrozenModel`] to rebuild dish posteriors).
+    pub fn classes(&self) -> &[Vec<Vec<f64>>] {
+        &self.classes
+    }
+
+    /// Associate every ϱ-surviving subclass with its known classes in the
+    /// sampler's current state, producing the association table and the
+    /// per-class report rows.
+    fn associate(&self, hdp: &Hdp) -> (Associations, Vec<GroupSubclasses>) {
+        let mut assoc = Associations::default();
+        let mut known_reports = Vec::with_capacity(self.classes.len());
+        for class in 0..self.classes.len() {
+            let summary = hdp.group_summary(class);
+            let total = summary.n_items as f64;
+            let mut survivors = Vec::new();
+            for &(dish, count) in &summary.dish_counts {
+                let prop = count as f64 / total;
+                if prop >= self.config.varrho {
+                    assoc.insert(dish, class, count);
+                    survivors.push((dish, count, prop));
+                }
+            }
+            known_reports.push(GroupSubclasses {
+                name: format!("Class{}", class + 1),
+                subclasses: survivors,
+            });
+        }
+        (assoc, known_reports)
+    }
+
+    /// Classify a test batch; convenience wrapper around
+    /// [`classify_detailed`](Self::classify_detailed).
+    ///
+    /// # Errors
+    /// See [`classify_detailed`](Self::classify_detailed).
+    pub fn classify<R: Rng + ?Sized>(
+        &self,
+        test: &[Vec<f64>],
+        rng: &mut R,
+    ) -> Result<Vec<Prediction>> {
+        Ok(self.classify_detailed(test, rng)?.predictions)
+    }
+
+    /// Co-cluster the known classes with the test batch and return the full
+    /// collective decision: predictions, subclass report (Tables 1–2), and
+    /// sampler diagnostics.
+    ///
+    /// # Errors
+    /// Fails on an empty test batch, dimension mismatches, or sampler
+    /// construction failure.
+    pub fn classify_detailed<R: Rng + ?Sized>(
+        &self,
+        test: &[Vec<f64>],
+        rng: &mut R,
+    ) -> Result<ClassifyOutcome> {
+        if test.is_empty() {
+            return Err(OsrError::InvalidTestSet("empty test batch".into()));
+        }
+        if let Some(bad) = test.iter().find(|p| p.len() != self.dim) {
+            return Err(OsrError::InvalidTestSet(format!(
+                "test point of dimension {} (expected {})",
+                bad.len(),
+                self.dim
+            )));
+        }
+
+        let mut groups = self.classes.clone();
+        groups.push(test.to_vec());
+        let test_group = groups.len() - 1;
+
+        let mut hdp = Hdp::new(self.params.clone(), self.config.hdp_config(), groups)?;
+        hdp.run(rng);
+
+        // Collect one decision snapshot per voting sweep; the subclass
+        // report always reflects the final state.
+        let n_test = test.len();
+        let mut votes: Vec<std::collections::BTreeMap<Prediction, usize>> =
+            vec![std::collections::BTreeMap::new(); n_test];
+        for extra in 0..self.config.decision_sweeps {
+            if extra > 0 {
+                hdp.sweep(rng);
+            }
+            let assoc = self.associate(&hdp).0;
+            for (i, vote) in votes.iter_mut().enumerate() {
+                let pred = assoc.decide(hdp.dish_of(test_group, i));
+                *vote.entry(pred).or_insert(0) += 1;
+            }
+        }
+        let predictions: Vec<Prediction> = votes
+            .iter()
+            .map(|v| {
+                v.iter()
+                    .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+                    .map(|(&p, _)| p)
+                    .expect("at least one voting sweep")
+            })
+            .collect();
+
+        let (assoc, known_reports) = self.associate(&hdp);
+
+        // Test-group composition and per-point decisions.
+        let summary = hdp.group_summary(test_group);
+        let mut test_known = Vec::new();
+        let mut test_new = Vec::new();
+        let mut surviving_items = 0usize;
+        for &(dish, count) in &summary.dish_counts {
+            let prop = count as f64 / summary.n_items as f64;
+            if prop >= self.config.varrho {
+                surviving_items += count;
+                if assoc.is_known(dish) {
+                    test_known.push((dish, count, prop));
+                } else {
+                    test_new.push((dish, count, prop));
+                }
+            }
+        }
+        // Proportions over surviving subclasses (the paper's table rows sum
+        // to 100 %).
+        let known_items: usize = test_known.iter().map(|&(_, c, _)| c).sum();
+        let new_items: usize = test_new.iter().map(|&(_, c, _)| c).sum();
+        let denom = surviving_items.max(1) as f64;
+
+        let n_known_sub: usize = known_reports.iter().map(GroupSubclasses::n_subclasses).sum();
+        let delta =
+            estimate_unknown_classes(test_new.len(), n_known_sub, self.classes.len());
+
+        let test_dishes: Vec<DishId> =
+            (0..test.len()).map(|i| hdp.dish_of(test_group, i)).collect();
+
+        Ok(ClassifyOutcome {
+            predictions,
+            report: SubclassReport {
+                known: known_reports,
+                test_known,
+                test_new,
+                test_known_proportion: known_items as f64 / denom,
+                test_new_proportion: new_items as f64 / denom,
+                delta_estimate: delta,
+            },
+            test_dishes,
+            gamma: hdp.gamma(),
+            alpha: hdp.alpha(),
+            log_likelihood: hdp.joint_log_likelihood(),
+        })
+    }
+}
+
+/// Build NIW hyperparameters, adding exponentially growing diagonal jitter
+/// until the scale matrix factorizes (rank-deficient pooled covariances
+/// happen when a class has fewer points than dimensions).
+fn build_niw_with_jitter(
+    mu0: Vec<f64>,
+    kappa0: f64,
+    nu0: f64,
+    mut psi0: Matrix,
+) -> Result<NiwParams> {
+    let d = psi0.rows();
+    let scale = (psi0.trace().abs() / d.max(1) as f64).max(1e-6);
+    let mut jitter = 0.0;
+    for attempt in 0..24 {
+        let mut candidate = psi0.clone();
+        if jitter > 0.0 {
+            for i in 0..d {
+                candidate[(i, i)] += jitter;
+            }
+        }
+        match NiwParams::new(mu0.clone(), kappa0, nu0, candidate) {
+            Ok(p) => return Ok(p),
+            Err(e) => {
+                if attempt == 23 {
+                    return Err(e.into());
+                }
+                jitter = if jitter == 0.0 { 1e-10 * scale } else { jitter * 10.0 };
+                // Keep psi0 untouched; only the candidate gets jitter.
+                let _ = &mut psi0;
+            }
+        }
+    }
+    unreachable!("loop returns on the last attempt")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osr_stats::sampling;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob(rng: &mut StdRng, cx: f64, cy: f64, n: usize, std: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                vec![
+                    cx + std * sampling::standard_normal(rng),
+                    cy + std * sampling::standard_normal(rng),
+                ]
+            })
+            .collect()
+    }
+
+    /// Two known classes far apart; unknowns in a third location.
+    fn scenario(rng: &mut StdRng) -> (TrainSet, Vec<Vec<f64>>, usize) {
+        let class0 = blob(rng, -6.0, 0.0, 40, 0.5);
+        let class1 = blob(rng, 6.0, 0.0, 40, 0.5);
+        let train = TrainSet { class_ids: vec![10, 20], classes: vec![class0, class1] };
+        let mut test = blob(rng, -6.0, 0.0, 20, 0.5); // known 0
+        test.extend(blob(rng, 6.0, 0.0, 20, 0.5)); // known 1
+        test.extend(blob(rng, 0.0, 9.0, 20, 0.5)); // unknown
+        (train, test, 40)
+    }
+
+    fn fast_config() -> HdpOsrConfig {
+        HdpOsrConfig { iterations: 10, ..Default::default() }
+    }
+
+    #[test]
+    fn classifies_knowns_and_rejects_unknowns() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test, n_known_pts) = scenario(&mut rng);
+        let model = HdpOsr::fit(&fast_config(), &train).unwrap();
+        let preds = model.classify(&test, &mut rng).unwrap();
+        assert_eq!(preds.len(), 60);
+
+        let correct0 = preds[..20].iter().filter(|p| **p == Prediction::Known(0)).count();
+        let correct1 = preds[20..40].iter().filter(|p| **p == Prediction::Known(1)).count();
+        let rejected = preds[n_known_pts..].iter().filter(|p| **p == Prediction::Unknown).count();
+        assert!(correct0 >= 18, "class 0 recall {correct0}/20");
+        assert!(correct1 >= 18, "class 1 recall {correct1}/20");
+        assert!(rejected >= 18, "unknown rejection {rejected}/20");
+    }
+
+    #[test]
+    fn discovery_report_estimates_one_unknown_class() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (train, test, _) = scenario(&mut rng);
+        let model = HdpOsr::fit(&fast_config(), &train).unwrap();
+        let out = model.classify_detailed(&test, &mut rng).unwrap();
+        // Δ is a rough estimate; with unimodal classes it should be small
+        // and nonzero.
+        assert!(out.report.n_new_subclasses() >= 1, "no new subclasses found");
+        assert!(
+            (1..=3).contains(&out.report.delta_estimate),
+            "Δ = {} out of plausible range",
+            out.report.delta_estimate
+        );
+        // Proportions over surviving subclasses sum to ~1.
+        let sum = out.report.test_known_proportion + out.report.test_new_proportion;
+        assert!((sum - 1.0).abs() < 1e-9, "proportions sum to {sum}");
+        // Roughly a third of the test batch is unknown.
+        assert!(out.report.test_new_proportion > 0.15);
+        assert!(out.report.test_known_proportion > 0.4);
+    }
+
+    #[test]
+    fn closed_world_test_finds_no_new_subclasses_worth_reporting() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let class0 = blob(&mut rng, -5.0, 0.0, 40, 0.5);
+        let class1 = blob(&mut rng, 5.0, 0.0, 40, 0.5);
+        let train = TrainSet { class_ids: vec![0, 1], classes: vec![class0, class1] };
+        let mut test = blob(&mut rng, -5.0, 0.0, 25, 0.5);
+        test.extend(blob(&mut rng, 5.0, 0.0, 25, 0.5));
+        let model = HdpOsr::fit(&fast_config(), &train).unwrap();
+        let out = model.classify_detailed(&test, &mut rng).unwrap();
+        assert!(
+            out.report.test_new_proportion < 0.1,
+            "closed world leaked {:.2}% to new subclasses",
+            out.report.test_new_proportion * 100.0
+        );
+    }
+
+    #[test]
+    fn outcome_is_deterministic_under_seed() {
+        let mut setup_rng = StdRng::seed_from_u64(4);
+        let (train, test, _) = scenario(&mut setup_rng);
+        let model = HdpOsr::fit(&fast_config(), &train).unwrap();
+        let a = model.classify(&test, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = model.classify(&test, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fit_derives_paper_prior() {
+        let train = TrainSet {
+            class_ids: vec![0, 1],
+            classes: vec![
+                vec![vec![0.0, 0.0], vec![2.0, 0.0]],
+                vec![vec![10.0, 4.0], vec![12.0, 4.0]],
+            ],
+        };
+        let model = HdpOsr::fit(&HdpOsrConfig::default(), &train).unwrap();
+        // μ₀ = grand mean = (6, 2).
+        assert_eq!(model.params().mu0, vec![6.0, 2.0]);
+        assert_eq!(model.params().kappa0, 1.0);
+        assert_eq!(model.params().nu0, 2.0); // d + nu_offset (default 0)
+        assert_eq!(model.n_classes(), 2);
+        assert_eq!(model.dim(), 2);
+    }
+
+    #[test]
+    fn fit_survives_rank_deficient_covariance() {
+        // Two points per class in 3-d: pooled covariance is rank ≤ 2.
+        let train = TrainSet {
+            class_ids: vec![0, 1],
+            classes: vec![
+                vec![vec![0.0, 0.0, 0.0], vec![1.0, 0.0, 0.0]],
+                vec![vec![5.0, 5.0, 5.0], vec![6.0, 5.0, 5.0]],
+            ],
+        };
+        let model = HdpOsr::fit(&HdpOsrConfig::default(), &train);
+        assert!(model.is_ok(), "jitter should repair singular Σ₀: {model:?}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let train = TrainSet { class_ids: vec![], classes: vec![] };
+        assert!(HdpOsr::fit(&HdpOsrConfig::default(), &train).is_err());
+
+        let train = TrainSet {
+            class_ids: vec![0],
+            classes: vec![vec![vec![0.0, 0.0], vec![1.0, 1.0]]],
+        };
+        let bad = HdpOsrConfig { rho: 0.0, ..Default::default() };
+        assert!(HdpOsr::fit(&bad, &train).is_err());
+        let bad = HdpOsrConfig { iterations: 0, ..Default::default() };
+        assert!(HdpOsr::fit(&bad, &train).is_err());
+        let bad = HdpOsrConfig { varrho: 1.0, ..Default::default() };
+        assert!(HdpOsr::fit(&bad, &train).is_err());
+
+        let model = HdpOsr::fit(&fast_config(), &train).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(model.classify(&[], &mut rng).is_err());
+        assert!(model.classify(&[vec![0.0]], &mut rng).is_err());
+    }
+
+    #[test]
+    fn consensus_decision_matches_single_state_on_easy_data() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (train, test, _) = scenario(&mut rng);
+        let single = HdpOsrConfig { iterations: 8, decision_sweeps: 1, ..Default::default() };
+        let voted = HdpOsrConfig { iterations: 8, decision_sweeps: 5, ..Default::default() };
+        let m1 = HdpOsr::fit(&single, &train).unwrap();
+        let m2 = HdpOsr::fit(&voted, &train).unwrap();
+        let p1 = m1.classify(&test, &mut StdRng::seed_from_u64(3)).unwrap();
+        let p2 = m2.classify(&test, &mut StdRng::seed_from_u64(3)).unwrap();
+        // On a trivially separated scene both decide (almost) identically.
+        let agree = p1.iter().zip(&p2).filter(|(a, b)| a == b).count();
+        assert!(agree * 10 >= p1.len() * 9, "voting changed {} of {}", p1.len() - agree, p1.len());
+        // And the voted run is still accurate.
+        let correct = p2[..20].iter().filter(|p| **p == Prediction::Known(0)).count();
+        assert!(correct >= 18);
+    }
+
+    #[test]
+    fn zero_decision_sweeps_is_rejected() {
+        let train = TrainSet {
+            class_ids: vec![0],
+            classes: vec![vec![vec![0.0, 0.0], vec![1.0, 1.0]]],
+        };
+        let bad = HdpOsrConfig { decision_sweeps: 0, ..Default::default() };
+        assert!(HdpOsr::fit(&bad, &train).is_err());
+    }
+
+    #[test]
+    fn multimodal_class_yields_multiple_subclasses() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // One known class with two distinct modes.
+        let mut class0 = blob(&mut rng, -4.0, 0.0, 30, 0.4);
+        class0.extend(blob(&mut rng, 4.0, 0.0, 30, 0.4));
+        let class1 = blob(&mut rng, 0.0, 8.0, 30, 0.4);
+        let train = TrainSet { class_ids: vec![0, 1], classes: vec![class0, class1] };
+        let test = blob(&mut rng, -4.0, 0.0, 10, 0.4);
+        let model = HdpOsr::fit(&fast_config(), &train).unwrap();
+        let out = model.classify_detailed(&test, &mut rng).unwrap();
+        assert!(
+            out.report.known[0].n_subclasses() >= 2,
+            "bimodal class modeled with {} subclass(es)",
+            out.report.known[0].n_subclasses()
+        );
+        // All test points come from class 0's left mode.
+        let correct =
+            out.predictions.iter().filter(|p| **p == Prediction::Known(0)).count();
+        assert!(correct >= 9, "recall {correct}/10");
+    }
+}

@@ -1,0 +1,196 @@
+//! CSV ingestion: run the open-set methods on *your* data, not just the
+//! synthetic replicas.
+//!
+//! Format: one sample per line, comma-separated feature values with the
+//! class label in the **last** column. Labels may be arbitrary strings;
+//! they are densified to `0..n_classes` in first-appearance order. Lines
+//! that are empty or start with `#` are skipped. A header line is detected
+//! (first line whose first field does not parse as a number) and skipped.
+
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::path::Path;
+
+use crate::{Dataset, DatasetError, Result};
+
+/// Outcome of a CSV parse: the dataset plus the original label strings in
+/// dense-id order.
+#[derive(Debug, Clone)]
+pub struct CsvDataset {
+    /// The parsed dataset (labels densified).
+    pub dataset: Dataset,
+    /// Original label text per dense class id.
+    pub label_names: Vec<String>,
+}
+
+/// Parse a CSV reader into a dataset.
+///
+/// # Errors
+/// Fails on ragged rows, non-numeric features, or an empty input.
+pub fn read_csv<R: BufRead>(reader: R, name: &str) -> Result<CsvDataset> {
+    let mut points: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    let mut label_ids: BTreeMap<String, usize> = BTreeMap::new();
+    let mut label_names: Vec<String> = Vec::new();
+    let mut dim: Option<usize> = None;
+    let mut first_data_line = true;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| DatasetError::InvalidConfig(format!("read error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if fields.len() < 2 {
+            return Err(DatasetError::InvalidConfig(format!(
+                "line {}: need at least one feature and a label",
+                lineno + 1
+            )));
+        }
+        // Header detection: first data-ish line whose first field is not a
+        // number.
+        if first_data_line && fields[0].parse::<f64>().is_err() {
+            first_data_line = false;
+            continue;
+        }
+        first_data_line = false;
+
+        let feature_fields = &fields[..fields.len() - 1];
+        match dim {
+            None => dim = Some(feature_fields.len()),
+            Some(d) if d != feature_fields.len() => {
+                return Err(DatasetError::InvalidConfig(format!(
+                    "line {}: {} features but previous rows had {}",
+                    lineno + 1,
+                    feature_fields.len(),
+                    d
+                )));
+            }
+            _ => {}
+        }
+        let mut row = Vec::with_capacity(feature_fields.len());
+        for f in feature_fields {
+            let v: f64 = f.parse().map_err(|_| {
+                DatasetError::InvalidConfig(format!(
+                    "line {}: non-numeric feature value {f:?}",
+                    lineno + 1
+                ))
+            })?;
+            if !v.is_finite() {
+                return Err(DatasetError::InvalidConfig(format!(
+                    "line {}: non-finite feature value",
+                    lineno + 1
+                )));
+            }
+            row.push(v);
+        }
+        let label_text = fields[fields.len() - 1].to_string();
+        let next_id = label_ids.len();
+        let id = *label_ids.entry(label_text.clone()).or_insert(next_id);
+        if id == label_names.len() {
+            label_names.push(label_text);
+        }
+        points.push(row);
+        labels.push(id);
+    }
+
+    if points.is_empty() {
+        return Err(DatasetError::InvalidConfig("no data rows".into()));
+    }
+    let n_classes = label_names.len();
+    Ok(CsvDataset { dataset: Dataset::new(name, points, labels, n_classes), label_names })
+}
+
+/// Parse a CSV file from disk.
+///
+/// # Errors
+/// Propagates I/O and parse failures.
+pub fn read_csv_file(path: &Path) -> Result<CsvDataset> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| DatasetError::InvalidConfig(format!("open {}: {e}", path.display())))?;
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("csv").to_string();
+    read_csv(std::io::BufReader::new(file), &name)
+}
+
+/// Write a dataset back out as CSV (features then the dense label), the
+/// inverse of [`read_csv`] up to label renaming.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_csv<W: std::io::Write>(data: &Dataset, mut w: W) -> Result<()> {
+    for (p, l) in data.points.iter().zip(&data.labels) {
+        let mut line = String::new();
+        for v in p {
+            line.push_str(&format!("{v},"));
+        }
+        line.push_str(&l.to_string());
+        writeln!(w, "{line}")
+            .map_err(|e| DatasetError::InvalidConfig(format!("write error: {e}")))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_basic_csv_with_string_labels() {
+        let csv = "1.0,2.0,cat\n3.0,4.0,dog\n5.0,6.0,cat\n";
+        let out = read_csv(Cursor::new(csv), "pets").unwrap();
+        assert_eq!(out.dataset.len(), 3);
+        assert_eq!(out.dataset.dim(), 2);
+        assert_eq!(out.dataset.n_classes, 2);
+        assert_eq!(out.label_names, vec!["cat", "dog"]);
+        assert_eq!(out.dataset.labels, vec![0, 1, 0]);
+        assert_eq!(out.dataset.points[1], vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn skips_header_comments_and_blank_lines() {
+        let csv = "# a comment\nf1,f2,label\n\n1.0,2.0,a\n3.0,4.0,b\n";
+        let out = read_csv(Cursor::new(csv), "t").unwrap();
+        assert_eq!(out.dataset.len(), 2);
+        assert_eq!(out.label_names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn numeric_labels_work_too() {
+        let csv = "1.0,7\n2.0,7\n3.0,9\n";
+        let out = read_csv(Cursor::new(csv), "t").unwrap();
+        assert_eq!(out.dataset.n_classes, 2);
+        assert_eq!(out.label_names, vec!["7", "9"]);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let csv = "1.0,2.0,a\n1.0,b\n";
+        let err = read_csv(Cursor::new(csv), "t").unwrap_err();
+        assert!(matches!(err, DatasetError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn rejects_non_numeric_features_and_nan() {
+        assert!(read_csv(Cursor::new("1.0,oops,a\n"), "t").is_err());
+        assert!(read_csv(Cursor::new("1.0,NaN,a\n"), "t").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(read_csv(Cursor::new("# only comments\n"), "t").is_err());
+        assert!(read_csv(Cursor::new(""), "t").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_write_csv() {
+        let csv = "1.5,2.5,x\n3.5,4.5,y\n";
+        let parsed = read_csv(Cursor::new(csv), "t").unwrap();
+        let mut buf = Vec::new();
+        write_csv(&parsed.dataset, &mut buf).unwrap();
+        let back = read_csv(Cursor::new(String::from_utf8(buf).unwrap()), "t").unwrap();
+        assert_eq!(back.dataset.points, parsed.dataset.points);
+        assert_eq!(back.dataset.labels, parsed.dataset.labels);
+    }
+}

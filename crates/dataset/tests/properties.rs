@@ -1,0 +1,130 @@
+//! Property-based tests of the dataset substrate: split invariants must hold
+//! for arbitrary shapes, sizes and seeds — the protocol machinery is the
+//! foundation every experiment stands on.
+
+use osr_dataset::gmm::ClassSpecConfig;
+use osr_dataset::protocol::{GroundTruth, OpenSetSplit, SplitConfig, ValidationSplit};
+use osr_dataset::synthetic::SyntheticConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_dataset(n_classes: usize, per_class: usize, seed: u64) -> osr_dataset::Dataset {
+    let cfg = SyntheticConfig {
+        name: "PROP",
+        n_classes,
+        dim: 3,
+        total_samples: n_classes * per_class,
+        separation: 4.0,
+        family_size: 2,
+        family_spread: 1.0,
+        class_cfg: ClassSpecConfig {
+            dim: 3,
+            subclusters: (1, 3),
+            mode_spread: 1.0,
+            width: 1.0,
+            n_factors: 1,
+            factor_strength: 0.5,
+        },
+    };
+    cfg.generate(&mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn split_partitions_known_classes(
+        n_classes in 3usize..8,
+        per_class in 6usize..25,
+        n_known in 2usize..4,
+        seed in 0u64..10_000,
+    ) {
+        prop_assume!(n_known < n_classes);
+        let n_unknown = (n_classes - n_known).min(2);
+        let data = tiny_dataset(n_classes, per_class, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        let split =
+            OpenSetSplit::sample(&data, &SplitConfig::new(n_known, n_unknown), &mut rng).unwrap();
+
+        // Training + known-test exactly partition each known class.
+        for (i, &cid) in split.train.class_ids.iter().enumerate() {
+            let total = data.class_indices(cid).len();
+            let known_test = split
+                .test
+                .truth
+                .iter()
+                .filter(|t| **t == GroundTruth::Known(i))
+                .count();
+            prop_assert_eq!(split.train.classes[i].len() + known_test, total);
+        }
+        // Unknown test samples equal the unknown classes' full populations.
+        let unknown_total: usize = split
+            .unknown_class_ids
+            .iter()
+            .map(|&c| data.class_indices(c).len())
+            .sum();
+        prop_assert_eq!(split.test.n_unknown(), unknown_total);
+        // Openness matches the formula for the sampled configuration.
+        prop_assert!((split.openness - SplitConfig::new(n_known, n_unknown).openness()).abs() < 1e-12);
+        // Known / unknown class id sets are disjoint.
+        for cid in &split.unknown_class_ids {
+            prop_assert!(!split.train.class_ids.contains(cid));
+        }
+    }
+
+    #[test]
+    fn validation_split_partitions_fitting_classes(
+        n_known in 2usize..6,
+        per_class in 8usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let data = tiny_dataset(n_known + 1, per_class, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+        let split = OpenSetSplit::sample(&data, &SplitConfig::new(n_known, 0), &mut rng).unwrap();
+        let val = ValidationSplit::sample(&split.train, &mut rng).unwrap();
+
+        // ⌊N/2 + 0.5⌋ fitting classes.
+        let expect = ((n_known as f64 / 2.0 + 0.5).floor() as usize).clamp(1, n_known - 1);
+        prop_assert_eq!(val.fitting.n_classes(), expect);
+
+        // Open sim = closed sim + the sim-unknown training points.
+        prop_assert_eq!(val.open.len(), val.closed.len() + val.open.n_unknown());
+        prop_assert_eq!(val.closed.n_unknown(), 0);
+
+        // Every fitting class id is one of the split's training class ids.
+        for cid in &val.fitting.class_ids {
+            prop_assert!(split.train.class_ids.contains(cid));
+        }
+    }
+
+    #[test]
+    fn splits_are_deterministic_in_the_rng(
+        seed in 0u64..10_000,
+    ) {
+        let data = tiny_dataset(5, 12, seed);
+        let run = |s: u64| {
+            let mut rng = StdRng::seed_from_u64(s);
+            OpenSetSplit::sample(&data, &SplitConfig::new(3, 1), &mut rng).unwrap()
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(a.train.class_ids, b.train.class_ids);
+        prop_assert_eq!(a.test.points, b.test.points);
+    }
+
+    #[test]
+    fn generated_datasets_have_declared_shape(
+        n_classes in 2usize..6,
+        per_class in 5usize..15,
+        seed in 0u64..10_000,
+    ) {
+        let data = tiny_dataset(n_classes, per_class, seed);
+        prop_assert_eq!(data.len(), n_classes * per_class);
+        prop_assert_eq!(data.dim(), 3);
+        let counts = data.class_counts();
+        prop_assert_eq!(counts.len(), n_classes);
+        prop_assert!(counts.iter().all(|&c| c == per_class));
+        prop_assert!(data.points.iter().all(|p| p.iter().all(|x| x.is_finite())));
+    }
+}

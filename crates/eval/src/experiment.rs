@@ -1,0 +1,335 @@
+//! The end-to-end experiment runner (paper §4.1.1 steps 1–8).
+//!
+//! For each method: tune once on a validation split carved from a first
+//! training set (step 7), then evaluate the winning parameterization on
+//! `trials` freshly randomized train/test splits (step 8; the paper uses
+//! 10), reporting mean ± std of micro-F-measure and open-set accuracy —
+//! the exact series plotted in Figs. 4–9. Trials run in parallel via
+//! crossbeam scoped threads; every trial derives its own RNG from
+//! `(seed, trial)`, so results are reproducible regardless of thread
+//! scheduling.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use osr_dataset::protocol::{OpenSetSplit, SplitConfig, ValidationSplit};
+use osr_dataset::Dataset;
+use osr_stats::descriptive::MeanStd;
+
+use crate::methods::MethodSpec;
+use crate::metrics::OpenSetConfusion;
+use crate::tuning::tune_method;
+use crate::{EvalError, Result};
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Open-set split shape (known/unknown class counts, train fraction).
+    pub split: SplitConfig,
+    /// Number of randomized evaluation splits (paper: 10).
+    pub trials: usize,
+    /// Master seed; everything else derives from it.
+    pub seed: u64,
+    /// Run the validation-tuning phase (step 7). When false the *first*
+    /// candidate of each method is used as-is.
+    pub tune: bool,
+    /// Run trials on multiple threads.
+    pub parallel: bool,
+}
+
+impl ExperimentConfig {
+    /// Paper defaults: 10 trials, tuning on, parallel on.
+    pub fn new(split: SplitConfig, seed: u64) -> Self {
+        Self { split, trials: 10, seed, tune: true, parallel: true }
+    }
+}
+
+/// Aggregated result of one method at one openness.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodResult {
+    /// Method name (figure legend).
+    pub method: String,
+    /// Openness of the evaluated problem.
+    pub openness: f64,
+    /// Micro-F-measure over trials.
+    pub f_measure: MeanStd,
+    /// Open-set recognition accuracy over trials.
+    pub accuracy: MeanStd,
+    /// The specification that produced these numbers (post-tuning).
+    pub spec: MethodSpec,
+}
+
+/// Per-trial raw scores (exposed for tests and detailed reports).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialScores {
+    /// One F-measure per trial.
+    pub f_measures: Vec<f64>,
+    /// One accuracy per trial.
+    pub accuracies: Vec<f64>,
+}
+
+/// Tune (optionally) and evaluate one method family.
+///
+/// # Errors
+/// Propagates split-construction and method failures.
+pub fn run_method(
+    data: &Dataset,
+    config: &ExperimentConfig,
+    candidates: &[MethodSpec],
+) -> Result<MethodResult> {
+    if config.trials == 0 {
+        return Err(EvalError::InvalidConfig("trials must be ≥ 1".into()));
+    }
+    if candidates.is_empty() {
+        return Err(EvalError::InvalidConfig("no candidates".into()));
+    }
+
+    // Step 7: parameter optimization on a validation split.
+    let spec = if config.tune && candidates.len() > 1 {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let split = OpenSetSplit::sample(data, &config.split, &mut rng)?;
+        let val = ValidationSplit::sample(&split.train, &mut rng)?;
+        tune_method(candidates, &val, config.seed)?.spec
+    } else {
+        candidates[0]
+    };
+
+    // Step 8: evaluate on `trials` randomized splits.
+    let scores = run_trials(data, config, &spec)?;
+    Ok(MethodResult {
+        method: spec.name().to_string(),
+        openness: config.split.openness(),
+        f_measure: MeanStd::from_values(&scores.f_measures),
+        accuracy: MeanStd::from_values(&scores.accuracies),
+        spec,
+    })
+}
+
+/// Evaluate a fixed specification on `config.trials` randomized splits.
+///
+/// # Errors
+/// Propagates the first trial failure.
+pub fn run_trials(
+    data: &Dataset,
+    config: &ExperimentConfig,
+    spec: &MethodSpec,
+) -> Result<TrialScores> {
+    type TrialCell = Option<Result<(f64, f64)>>;
+    let results: Mutex<Vec<TrialCell>> = Mutex::new(vec![None; config.trials]);
+
+    let run_one = |trial: usize| -> Result<(f64, f64)> {
+        // Trial seeds are disjoint from the tuning seed by construction.
+        let mut rng =
+            StdRng::seed_from_u64(config.seed.wrapping_add(0x5DEECE66D + trial as u64 * 0x2545F4914F6CDD1D));
+        let split = OpenSetSplit::sample(data, &config.split, &mut rng)?;
+        let preds = spec.train_and_predict(&split.train, &split.test.points, &mut rng)?;
+        let c = OpenSetConfusion::from_slices(&preds, &split.test.truth);
+        Ok((c.f_measure(), c.accuracy()))
+    };
+
+    if config.parallel && config.trials > 1 {
+        let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(config.trials);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| loop {
+                    let t = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if t >= config.trials {
+                        break;
+                    }
+                    let r = run_one(t);
+                    results.lock()[t] = Some(r);
+                });
+            }
+        })
+        .expect("trial worker panicked");
+    } else {
+        for t in 0..config.trials {
+            let r = run_one(t);
+            results.lock()[t] = Some(r);
+        }
+    }
+
+    let mut f_measures = Vec::with_capacity(config.trials);
+    let mut accuracies = Vec::with_capacity(config.trials);
+    for r in results.into_inner() {
+        let (f, a) = r.expect("all trials executed")?;
+        f_measures.push(f);
+        accuracies.push(a);
+    }
+    Ok(TrialScores { f_measures, accuracies })
+}
+
+/// Run a full openness sweep: for each unknown-class count, tune + evaluate
+/// every method family. Returns one row per (openness, method) — the data
+/// behind one of the paper's figures.
+///
+/// # Errors
+/// Propagates the first failure.
+pub fn openness_sweep(
+    data: &Dataset,
+    n_known: usize,
+    unknown_counts: &[usize],
+    trials: usize,
+    seed: u64,
+    tune: bool,
+    families: &[Vec<MethodSpec>],
+) -> Result<Vec<MethodResult>> {
+    let mut rows = Vec::new();
+    for &n_unknown in unknown_counts {
+        let config = ExperimentConfig {
+            split: SplitConfig::new(n_known, n_unknown),
+            trials,
+            seed,
+            tune,
+            parallel: true,
+        };
+        for family in families {
+            rows.push(run_method(data, &config, family)?);
+        }
+    }
+    Ok(rows)
+}
+
+/// Render a slice of results as an aligned TSV table (openness ascending,
+/// then method).
+pub fn to_tsv(rows: &[MethodResult]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("method\topenness\tf_measure\tf_std\taccuracy\tacc_std\ttrials\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{:.4}\t{}",
+            r.method,
+            r.openness,
+            r.f_measure.mean,
+            r.f_measure.std,
+            r.accuracy.mean,
+            r.accuracy.std,
+            r.f_measure.n
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::MethodSpec;
+    use osr_baselines::OsnnParams;
+    use osr_dataset::synthetic;
+
+    fn small_data() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(10);
+        synthetic::pendigits_config().scaled(0.03).generate(&mut rng)
+    }
+
+    fn osnn_family() -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::Osnn(OsnnParams { sigma: 0.5 }),
+            MethodSpec::Osnn(OsnnParams { sigma: 0.8 }),
+        ]
+    }
+
+    #[test]
+    fn run_method_produces_sane_aggregates() {
+        let data = small_data();
+        let config = ExperimentConfig {
+            split: SplitConfig::new(4, 2),
+            trials: 4,
+            seed: 7,
+            tune: true,
+            parallel: true,
+        };
+        let r = run_method(&data, &config, &osnn_family()).unwrap();
+        assert_eq!(r.method, "OSNN");
+        assert_eq!(r.f_measure.n, 4);
+        assert!((0.0..=1.0).contains(&r.f_measure.mean), "F = {}", r.f_measure.mean);
+        assert!((0.0..=1.0).contains(&r.accuracy.mean));
+        assert!(r.openness > 0.0);
+    }
+
+    #[test]
+    fn parallel_and_serial_trials_agree() {
+        let data = small_data();
+        let base = ExperimentConfig {
+            split: SplitConfig::new(4, 1),
+            trials: 3,
+            seed: 21,
+            tune: false,
+            parallel: true,
+        };
+        let spec = MethodSpec::Osnn(OsnnParams { sigma: 0.7 });
+        let par = run_trials(&data, &base, &spec).unwrap();
+        let ser = run_trials(&data, &ExperimentConfig { parallel: false, ..base }, &spec).unwrap();
+        assert_eq!(par.f_measures, ser.f_measures);
+        assert_eq!(par.accuracies, ser.accuracies);
+    }
+
+    #[test]
+    fn runs_are_reproducible_under_seed() {
+        let data = small_data();
+        let config = ExperimentConfig {
+            split: SplitConfig::new(4, 2),
+            trials: 3,
+            seed: 5,
+            tune: false,
+            parallel: true,
+        };
+        let spec = MethodSpec::Osnn(OsnnParams { sigma: 0.7 });
+        let a = run_trials(&data, &config, &spec).unwrap();
+        let b = run_trials(&data, &config, &spec).unwrap();
+        assert_eq!(a.f_measures, b.f_measures);
+    }
+
+    #[test]
+    fn openness_sweep_orders_rows() {
+        let data = small_data();
+        let rows = openness_sweep(&data, 4, &[0, 2], 2, 3, false, &[osnn_family()]).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].openness, 0.0);
+        assert!(rows[1].openness > 0.0);
+    }
+
+    #[test]
+    fn closed_set_beats_open_set_for_osnn_family() {
+        // Openness should not make the problem EASIER for a fixed method.
+        let data = small_data();
+        let rows =
+            openness_sweep(&data, 4, &[0, 4], 3, 11, false, &[vec![MethodSpec::Osnn(
+                OsnnParams { sigma: 0.9 },
+            )]])
+            .unwrap();
+        assert!(
+            rows[0].f_measure.mean >= rows[1].f_measure.mean - 0.05,
+            "closed {:.3} vs open {:.3}",
+            rows[0].f_measure.mean,
+            rows[1].f_measure.mean
+        );
+    }
+
+    #[test]
+    fn tsv_rendering_contains_all_rows() {
+        let data = small_data();
+        let rows = openness_sweep(&data, 4, &[1], 2, 3, false, &[osnn_family()]).unwrap();
+        let tsv = to_tsv(&rows);
+        assert!(tsv.starts_with("method\topenness"));
+        assert_eq!(tsv.lines().count(), 2);
+        assert!(tsv.contains("OSNN"));
+    }
+
+    #[test]
+    fn zero_trials_is_rejected() {
+        let data = small_data();
+        let config = ExperimentConfig {
+            split: SplitConfig::new(4, 0),
+            trials: 0,
+            seed: 0,
+            tune: false,
+            parallel: false,
+        };
+        assert!(run_method(&data, &config, &osnn_family()).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Uniform wrapper over HDP-OSR and the five baselines, so the experiment
+//! runner and the tuning phase can treat every method identically:
+//! `spec + training set + test points → predictions`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use hdp_osr_core::{HdpOsr, HdpOsrConfig};
+use osr_baselines::{
+    OneVsSet, OneVsSetParams, OpenSetClassifier, Osnn, OsnnParams, PiSvm, PiSvmParams, WOsvm,
+    WOsvmParams, WSvm, WSvmParams,
+};
+use osr_dataset::protocol::{Prediction, TrainSet};
+
+use crate::{EvalError, Result};
+
+/// A fully parameterized method, ready to train.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum MethodSpec {
+    /// The paper's contribution.
+    HdpOsr(HdpOsrConfig),
+    /// 1-vs-Set machine.
+    OneVsSet(OneVsSetParams),
+    /// W-OSVM (one-class CAP model only).
+    WOsvm(WOsvmParams),
+    /// Weibull-calibrated SVM.
+    WSvm(WSvmParams),
+    /// Probability-of-inclusion SVM.
+    PiSvm(PiSvmParams),
+    /// Nearest-neighbour distance ratio.
+    Osnn(OsnnParams),
+}
+
+impl MethodSpec {
+    /// Method name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::HdpOsr(_) => "HDP-OSR",
+            Self::OneVsSet(_) => "1-vs-Set",
+            Self::WOsvm(_) => "W-OSVM",
+            Self::WSvm(_) => "W-SVM",
+            Self::PiSvm(_) => "PI-SVM",
+            Self::Osnn(_) => "OSNN",
+        }
+    }
+
+    /// Train on `train` and classify every point of `test`.
+    ///
+    /// The RNG is only consumed by HDP-OSR (Gibbs sampling); the baselines
+    /// are deterministic given the data. Seeding is the caller's
+    /// responsibility so trials stay reproducible.
+    ///
+    /// # Errors
+    /// Wraps any training failure with the method name.
+    pub fn train_and_predict<R: Rng + ?Sized>(
+        &self,
+        train: &TrainSet,
+        test: &[Vec<f64>],
+        rng: &mut R,
+    ) -> Result<Vec<Prediction>> {
+        let wrap = |e: String| EvalError::Method(format!("{}: {e}", self.name()));
+        match self {
+            Self::HdpOsr(cfg) => {
+                let model = HdpOsr::fit(cfg, train).map_err(|e| wrap(e.to_string()))?;
+                model.classify(test, rng).map_err(|e| wrap(e.to_string()))
+            }
+            Self::OneVsSet(p) => {
+                let m = OneVsSet::train(train, p).map_err(|e| wrap(e.to_string()))?;
+                Ok(m.predict_batch(test))
+            }
+            Self::WOsvm(p) => {
+                let m = WOsvm::train(train, p).map_err(|e| wrap(e.to_string()))?;
+                Ok(m.predict_batch(test))
+            }
+            Self::WSvm(p) => {
+                let m = WSvm::train(train, p).map_err(|e| wrap(e.to_string()))?;
+                Ok(m.predict_batch(test))
+            }
+            Self::PiSvm(p) => {
+                let m = PiSvm::train(train, p).map_err(|e| wrap(e.to_string()))?;
+                Ok(m.predict_batch(test))
+            }
+            Self::Osnn(p) => {
+                let (points, labels) = train.flattened();
+                let m = Osnn::train(&points, &labels, train.n_classes(), p)
+                    .map_err(|e| wrap(e.to_string()))?;
+                Ok(m.predict_batch(test))
+            }
+        }
+    }
+
+    /// Deterministic helper: derive a fresh RNG for `(seed, trial)` and run
+    /// [`train_and_predict`](Self::train_and_predict) with it.
+    ///
+    /// # Errors
+    /// Propagates training failures.
+    pub fn run_trial(
+        &self,
+        train: &TrainSet,
+        test: &[Vec<f64>],
+        seed: u64,
+        trial: u64,
+    ) -> Result<Vec<Prediction>> {
+        let mut rng = StdRng::seed_from_u64(seed ^ trial.wrapping_mul(0x9E3779B97F4A7C15));
+        self.train_and_predict(train, test, &mut rng)
+    }
+
+    /// The default specification of every method in the paper's comparison,
+    /// in figure-legend order.
+    pub fn paper_lineup() -> Vec<MethodSpec> {
+        vec![
+            Self::OneVsSet(OneVsSetParams::default()),
+            Self::WOsvm(WOsvmParams::default()),
+            Self::WSvm(WSvmParams::default()),
+            Self::PiSvm(PiSvmParams::default()),
+            Self::Osnn(OsnnParams::default()),
+            Self::HdpOsr(HdpOsrConfig::default()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osr_stats::sampling;
+
+    fn blob(rng: &mut StdRng, cx: f64, cy: f64, n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                vec![
+                    cx + 0.5 * sampling::standard_normal(rng),
+                    cy + 0.5 * sampling::standard_normal(rng),
+                ]
+            })
+            .collect()
+    }
+
+    fn scenario() -> (TrainSet, Vec<Vec<f64>>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let train = TrainSet {
+            class_ids: vec![0, 1],
+            classes: vec![blob(&mut rng, -5.0, 0.0, 40), blob(&mut rng, 5.0, 0.0, 40)],
+        };
+        let mut test = blob(&mut rng, -5.0, 0.0, 5);
+        test.extend(blob(&mut rng, 0.0, 12.0, 5)); // unknowns
+        (train, test)
+    }
+
+    #[test]
+    fn every_method_trains_and_predicts() {
+        let (train, test) = scenario();
+        for spec in MethodSpec::paper_lineup() {
+            // Shrink HDP-OSR iterations for test speed.
+            let spec = match spec {
+                MethodSpec::HdpOsr(mut cfg) => {
+                    cfg.iterations = 5;
+                    MethodSpec::HdpOsr(cfg)
+                }
+                other => other,
+            };
+            let preds = spec.run_trial(&train, &test, 7, 0).unwrap();
+            assert_eq!(preds.len(), test.len(), "{} returned wrong count", spec.name());
+        }
+    }
+
+    #[test]
+    fn lineup_names_match_figure_legends() {
+        let names: Vec<&str> = MethodSpec::paper_lineup().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["1-vs-Set", "W-OSVM", "W-SVM", "PI-SVM", "OSNN", "HDP-OSR"]);
+    }
+
+    #[test]
+    fn run_trial_is_deterministic() {
+        let (train, test) = scenario();
+        let cfg = HdpOsrConfig { iterations: 3, ..Default::default() };
+        let spec = MethodSpec::HdpOsr(cfg);
+        let a = spec.run_trial(&train, &test, 42, 3).unwrap();
+        let b = spec.run_trial(&train, &test, 42, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failures_carry_the_method_name() {
+        let empty = TrainSet { class_ids: vec![], classes: vec![] };
+        let err = MethodSpec::Osnn(OsnnParams::default())
+            .run_trial(&empty, &[], 0, 0)
+            .unwrap_err();
+        assert!(matches!(err, EvalError::Method(ref m) if m.starts_with("OSNN")));
+    }
+}

@@ -1,0 +1,177 @@
+//! Experiment artifacts: serializable result bundles, JSON/TSV export, and
+//! markdown rendering for `EXPERIMENTS.md`-style reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::MethodResult;
+use crate::Result;
+
+/// A complete figure-reproduction artifact: everything needed to replot or
+/// re-verify one of the paper's figures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureReport {
+    /// Figure id, e.g. "fig6".
+    pub figure: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// What the paper's figure shows, paraphrased.
+    pub paper_expectation: String,
+    /// Settings string (trials/seed/scale/tune) for provenance.
+    pub settings: String,
+    /// All sweep rows.
+    pub rows: Vec<MethodResult>,
+}
+
+impl FigureReport {
+    /// Serialize to pretty JSON.
+    ///
+    /// # Errors
+    /// Propagates serializer failures (cannot happen for these types in
+    /// practice).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| crate::EvalError::InvalidConfig(format!("serialize report: {e}")))
+    }
+
+    /// Parse back from JSON.
+    ///
+    /// # Errors
+    /// Fails on malformed input.
+    pub fn from_json(s: &str) -> Result<Self> {
+        serde_json::from_str(s)
+            .map_err(|e| crate::EvalError::InvalidConfig(format!("parse report: {e}")))
+    }
+
+    /// Distinct openness values, ascending.
+    pub fn opennesses(&self) -> Vec<f64> {
+        let mut o: Vec<f64> = self.rows.iter().map(|r| r.openness).collect();
+        o.sort_by(|a, b| a.partial_cmp(b).expect("finite openness"));
+        o.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        o
+    }
+
+    /// Distinct method names in first-appearance order.
+    pub fn methods(&self) -> Vec<String> {
+        let mut m: Vec<String> = Vec::new();
+        for r in &self.rows {
+            if !m.contains(&r.method) {
+                m.push(r.method.clone());
+            }
+        }
+        m
+    }
+
+    /// Look up one cell of the sweep grid.
+    pub fn row(&self, method: &str, openness: f64) -> Option<&MethodResult> {
+        self.rows.iter().find(|r| r.method == method && (r.openness - openness).abs() < 1e-12)
+    }
+
+    /// Render a markdown table: methods × openness, `mean ± std` cells.
+    pub fn to_markdown(&self, metric: ReportMetric) -> String {
+        use std::fmt::Write;
+        let opennesses = self.opennesses();
+        let mut out = String::new();
+        let _ = write!(out, "| method |");
+        for o in &opennesses {
+            let _ = write!(out, " {:.1}% |", o * 100.0);
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &opennesses {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for m in self.methods() {
+            let _ = write!(out, "| {m} |");
+            for &o in &opennesses {
+                match self.row(&m, o) {
+                    Some(r) => {
+                        let v = match metric {
+                            ReportMetric::FMeasure => &r.f_measure,
+                            ReportMetric::Accuracy => &r.accuracy,
+                        };
+                        let _ = write!(out, " {:.3} ± {:.3} |", v.mean, v.std);
+                    }
+                    None => {
+                        let _ = write!(out, " — |");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Which metric a markdown table reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReportMetric {
+    /// Micro-F-measure (Figs. 4–6).
+    FMeasure,
+    /// Open-set accuracy (Figs. 7–9).
+    Accuracy,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::MethodSpec;
+    use osr_baselines::OsnnParams;
+    use osr_stats::descriptive::MeanStd;
+
+    fn sample_report() -> FigureReport {
+        let mk = |method: &str, openness: f64, f: f64| MethodResult {
+            method: method.into(),
+            openness,
+            f_measure: MeanStd { mean: f, std: 0.01, n: 3 },
+            accuracy: MeanStd { mean: f - 0.05, std: 0.02, n: 3 },
+            spec: MethodSpec::Osnn(OsnnParams::default()),
+        };
+        FigureReport {
+            figure: "fig6".into(),
+            dataset: "PENDIGITS".into(),
+            paper_expectation: "HDP-OSR flat and highest".into(),
+            settings: "trials 3, seed 42".into(),
+            rows: vec![
+                mk("OSNN", 0.0, 0.99),
+                mk("HDP-OSR", 0.0, 0.99),
+                mk("OSNN", 0.12, 0.75),
+                mk("HDP-OSR", 0.12, 0.95),
+            ],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_rows() {
+        let r = sample_report();
+        let json = r.to_json().unwrap();
+        let back = FigureReport::from_json(&json).unwrap();
+        assert_eq!(back.rows.len(), 4);
+        assert_eq!(back.figure, "fig6");
+        assert_eq!(back.row("OSNN", 0.12).unwrap().f_measure.mean, 0.75);
+    }
+
+    #[test]
+    fn grid_accessors() {
+        let r = sample_report();
+        assert_eq!(r.opennesses(), vec![0.0, 0.12]);
+        assert_eq!(r.methods(), vec!["OSNN".to_string(), "HDP-OSR".to_string()]);
+        assert!(r.row("W-SVM", 0.0).is_none());
+    }
+
+    #[test]
+    fn markdown_has_all_cells() {
+        let r = sample_report();
+        let md = r.to_markdown(ReportMetric::FMeasure);
+        assert!(md.contains("| OSNN |"));
+        assert!(md.contains("0.950 ± 0.010"));
+        assert_eq!(md.lines().count(), 4); // header + separator + 2 methods
+        let md_acc = r.to_markdown(ReportMetric::Accuracy);
+        assert!(md_acc.contains("0.900 ± 0.020"));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(FigureReport::from_json("{not json").is_err());
+    }
+}

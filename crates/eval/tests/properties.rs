@@ -1,0 +1,104 @@
+//! Property-based tests for the evaluation metrics: the micro-F-measure and
+//! open-set accuracy must obey their defining identities for arbitrary
+//! prediction/truth sequences.
+
+use osr_dataset::protocol::{GroundTruth, Prediction};
+use osr_eval::metrics::{micro_f_measure, open_set_accuracy, OpenSetConfusion};
+use proptest::prelude::*;
+
+fn prediction() -> impl Strategy<Value = Prediction> {
+    prop_oneof![
+        (0usize..5).prop_map(Prediction::Known),
+        Just(Prediction::Unknown),
+    ]
+}
+
+fn truth() -> impl Strategy<Value = GroundTruth> {
+    prop_oneof![
+        (0usize..5).prop_map(GroundTruth::Known),
+        Just(GroundTruth::Unknown),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn metrics_are_bounded(
+        pairs in prop::collection::vec((prediction(), truth()), 0..60),
+    ) {
+        let (preds, truths): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        let f = micro_f_measure(&preds, &truths);
+        let a = open_set_accuracy(&preds, &truths);
+        prop_assert!((0.0..=1.0).contains(&f), "F = {f}");
+        prop_assert!((0.0..=1.0).contains(&a), "acc = {a}");
+    }
+
+    #[test]
+    fn accuracy_counts_correct_responses(
+        pairs in prop::collection::vec((prediction(), truth()), 1..60),
+    ) {
+        let (preds, truths): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        let correct = preds.iter().zip(&truths).filter(|(p, t)| p.is_correct(t)).count();
+        let a = open_set_accuracy(&preds, &truths);
+        prop_assert!((a - correct as f64 / preds.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_predictions_score_one(
+        truths in prop::collection::vec(truth(), 1..60),
+    ) {
+        let preds: Vec<Prediction> = truths
+            .iter()
+            .map(|t| match t {
+                GroundTruth::Known(c) => Prediction::Known(*c),
+                GroundTruth::Unknown => Prediction::Unknown,
+            })
+            .collect();
+        prop_assert_eq!(micro_f_measure(&preds, &truths), 1.0);
+        prop_assert_eq!(open_set_accuracy(&preds, &truths), 1.0);
+    }
+
+    #[test]
+    fn confusion_counts_partition_the_data(
+        pairs in prop::collection::vec((prediction(), truth()), 0..60),
+    ) {
+        let (preds, truths): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        let c = OpenSetConfusion::from_slices(&preds, &truths);
+        prop_assert_eq!(c.total, preds.len());
+        // tp + tn_rejected + errors = total, where an error is any pair that
+        // is not correct; a cross-class error contributes to BOTH fp and fn.
+        let errors = preds.iter().zip(&truths).filter(|(p, t)| !p.is_correct(t)).count();
+        prop_assert_eq!(c.tp + c.tn_rejected + errors, c.total);
+        // fp + fn ≥ errors ≥ max(fp, fn).
+        prop_assert!(c.fp + c.fn_ >= errors);
+        prop_assert!(errors >= c.fp.max(c.fn_));
+    }
+
+    #[test]
+    fn adding_a_correct_pair_never_lowers_either_metric(
+        pairs in prop::collection::vec((prediction(), truth()), 1..40),
+        extra in truth(),
+    ) {
+        let (mut preds, mut truths): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        let f_before = micro_f_measure(&preds, &truths);
+        let a_before = open_set_accuracy(&preds, &truths);
+        let matching = match extra {
+            GroundTruth::Known(c) => Prediction::Known(c),
+            GroundTruth::Unknown => Prediction::Unknown,
+        };
+        preds.push(matching);
+        truths.push(extra);
+        prop_assert!(micro_f_measure(&preds, &truths) >= f_before - 1e-12);
+        prop_assert!(open_set_accuracy(&preds, &truths) >= a_before - 1e-12);
+    }
+
+    #[test]
+    fn f_measure_is_harmonic_mean_of_precision_recall(
+        pairs in prop::collection::vec((prediction(), truth()), 1..60),
+    ) {
+        let (preds, truths): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        let c = OpenSetConfusion::from_slices(&preds, &truths);
+        let (p, r) = (c.precision(), c.recall());
+        let expect = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        prop_assert!((c.f_measure() - expect).abs() < 1e-12);
+    }
+}

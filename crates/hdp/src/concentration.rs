@@ -1,0 +1,177 @@
+//! Resampling of the DP concentration parameters under their Gamma priors.
+//!
+//! * [`resample_gamma`] — Escobar & West (1995) auxiliary-variable update
+//!   for the top-level concentration γ, which governs how many dishes `K`
+//!   the franchise uses given `m_··` total tables.
+//! * [`resample_alpha`] — Teh et al. (2006, appendix) update for the shared
+//!   group-level concentration α₀, which governs how many tables each
+//!   restaurant opens given its item count.
+
+use rand::Rng;
+
+use osr_stats::sampling;
+
+/// One Escobar–West update of a DP concentration parameter with prior
+/// `Gamma(a, b)` given that the DP produced `n_components` components from
+/// `n_items` draws. For the HDP top level: `n_components = K` dishes,
+/// `n_items = m_··` tables.
+///
+/// # Panics
+/// Panics when counts are zero or the prior is non-positive.
+pub fn resample_gamma<R: Rng + ?Sized>(
+    rng: &mut R,
+    current: f64,
+    n_components: usize,
+    n_items: usize,
+    prior: (f64, f64),
+) -> f64 {
+    let (a, b) = prior;
+    assert!(a > 0.0 && b > 0.0, "resample_gamma: prior must be positive");
+    assert!(n_components >= 1, "resample_gamma: need at least one component");
+    assert!(n_items >= 1, "resample_gamma: need at least one item");
+    if n_items == 1 {
+        // A single draw carries no information about γ beyond the prior.
+        return sampling::gamma(rng, a, b);
+    }
+    let k = n_components as f64;
+    let n = n_items as f64;
+    // Auxiliary η ~ Beta(γ + 1, n).
+    let eta = sampling::beta(rng, current + 1.0, n);
+    let rate = b - eta.ln();
+    // Mixture weight between Gamma(a + K, rate) and Gamma(a + K − 1, rate).
+    let odds = (a + k - 1.0) / (n * rate);
+    let pi = odds / (1.0 + odds);
+    if rng.gen::<f64>() < pi {
+        sampling::gamma(rng, a + k, rate)
+    } else {
+        sampling::gamma(rng, a + k - 1.0, rate)
+    }
+}
+
+/// One auxiliary-variable update of the shared group-level concentration α₀
+/// with prior `Gamma(a, b)`, given the total table count `m_··` and the item
+/// count `n_j` of every group (Teh et al. 2006, Eq. A.5–A.7).
+///
+/// # Panics
+/// Panics when the prior is non-positive or `total_tables == 0`.
+pub fn resample_alpha<R: Rng + ?Sized>(
+    rng: &mut R,
+    current: f64,
+    total_tables: usize,
+    group_sizes: &[usize],
+    prior: (f64, f64),
+) -> f64 {
+    let (a, b) = prior;
+    assert!(a > 0.0 && b > 0.0, "resample_alpha: prior must be positive");
+    assert!(total_tables >= 1, "resample_alpha: need at least one table");
+    let mut alpha = current.max(1e-6);
+    // A couple of inner iterations mix the auxiliary variables well.
+    for _ in 0..2 {
+        let mut sum_log_w = 0.0;
+        let mut sum_s = 0.0;
+        for &nj in group_sizes {
+            if nj == 0 {
+                continue;
+            }
+            let njf = nj as f64;
+            let w = sampling::beta(rng, alpha + 1.0, njf);
+            sum_log_w += w.ln();
+            // s_j ~ Bernoulli(n_j / (n_j + α)).
+            if rng.gen::<f64>() < njf / (njf + alpha) {
+                sum_s += 1.0;
+            }
+        }
+        let shape = a + total_tables as f64 - sum_s;
+        let rate = b - sum_log_w;
+        alpha = sampling::gamma(rng, shape.max(1e-3), rate.max(1e-9));
+    }
+    alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gamma_posterior_tracks_component_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Many components from few items ⇒ large γ; few components from
+        // many items ⇒ small γ. Same vague prior for both.
+        let prior = (1.0, 0.1);
+        let many: f64 = (0..300)
+            .map(|_| resample_gamma(&mut rng, 5.0, 80, 100, prior))
+            .sum::<f64>()
+            / 300.0;
+        let few: f64 = (0..300)
+            .map(|_| resample_gamma(&mut rng, 5.0, 3, 100, prior))
+            .sum::<f64>()
+            / 300.0;
+        assert!(
+            many > 4.0 * few,
+            "γ should be much larger with many components: many={many:.2} few={few:.2}"
+        );
+    }
+
+    #[test]
+    fn gamma_respects_tight_prior() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Gamma(100, 1) prior (the paper's) has mean 100 and tiny relative
+        // spread; moderate data should keep γ near it.
+        let prior = (100.0, 1.0);
+        let avg: f64 = (0..300)
+            .map(|_| resample_gamma(&mut rng, 100.0, 40, 60, prior))
+            .sum::<f64>()
+            / 300.0;
+        assert!((60.0..160.0).contains(&avg), "γ drifted to {avg:.1}");
+    }
+
+    #[test]
+    fn gamma_single_item_falls_back_to_prior() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let avg: f64 = (0..500)
+            .map(|_| resample_gamma(&mut rng, 7.0, 1, 1, (4.0, 2.0)))
+            .sum::<f64>()
+            / 500.0;
+        assert!((avg - 2.0).abs() < 0.3, "prior mean is 2, got {avg:.2}");
+    }
+
+    #[test]
+    fn alpha_tracks_table_to_item_ratio() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let prior = (1.0, 0.1);
+        let sizes = vec![200usize; 5];
+        // Lots of tables per item ⇒ large α₀.
+        let many: f64 = (0..300)
+            .map(|_| resample_alpha(&mut rng, 1.0, 400, &sizes, prior))
+            .sum::<f64>()
+            / 300.0;
+        let few: f64 = (0..300)
+            .map(|_| resample_alpha(&mut rng, 1.0, 6, &sizes, prior))
+            .sum::<f64>()
+            / 300.0;
+        assert!(many > 5.0 * few, "α₀ should grow with tables: many={many:.2} few={few:.2}");
+    }
+
+    #[test]
+    fn alpha_ignores_empty_groups() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let with_empty: f64 = (0..200)
+            .map(|_| resample_alpha(&mut rng, 2.0, 10, &[50, 0, 50], (10.0, 1.0)))
+            .sum::<f64>()
+            / 200.0;
+        assert!(with_empty.is_finite() && with_empty > 0.0);
+    }
+
+    #[test]
+    fn resampled_values_are_positive_and_finite() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let g = resample_gamma(&mut rng, 100.0, 30, 45, (100.0, 1.0));
+            let a = resample_alpha(&mut rng, 10.0, 45, &[500, 400, 700], (10.0, 1.0));
+            assert!(g.is_finite() && g > 0.0);
+            assert!(a.is_finite() && a > 0.0);
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! The collapsed Chinese-Restaurant-Franchise Gibbs sampler.
+//!
+//! One sweep resamples, in order:
+//! 1. every table assignment `t_ji` (Eq. 7 of the paper),
+//! 2. every dish assignment `k_jt` (Eq. 8),
+//! 3. both concentration parameters under their Gamma priors (§4.1.2).
+//!
+//! All component parameters φ are integrated out through the conjugate NIW
+//! base measure, so the only state is the seating arrangement plus O(d²)
+//! sufficient statistics per dish.
+
+use rand::Rng;
+
+use osr_stats::special::log_sum_exp;
+use osr_stats::{sampling, NiwParams, NiwPosterior};
+
+use crate::concentration::{resample_alpha, resample_gamma};
+use crate::state::{DishId, DishSummary, FranchiseState, GroupSummary, HdpConfig, Table};
+use crate::{HdpError, Result};
+
+/// A Hierarchical Dirichlet Process mixture over a fixed set of groups.
+#[derive(Debug, Clone)]
+pub struct Hdp {
+    state: FranchiseState,
+    config: HdpConfig,
+    /// Cached prior-state posterior for `p(x)` under H (new tables/dishes).
+    prior_post: NiwPosterior,
+    initialized: bool,
+}
+
+impl Hdp {
+    /// Build a sampler over `groups` (each group a set of `d`-dimensional
+    /// observations) with base measure `params`.
+    ///
+    /// # Errors
+    /// Rejects empty group lists, empty groups, dimension mismatches and
+    /// invalid configuration.
+    pub fn new(params: NiwParams, config: HdpConfig, groups: Vec<Vec<Vec<f64>>>) -> Result<Self> {
+        config.validate()?;
+        if groups.is_empty() {
+            return Err(HdpError::InvalidGroups("no groups".into()));
+        }
+        let d = params.dim();
+        for (j, g) in groups.iter().enumerate() {
+            if g.is_empty() {
+                return Err(HdpError::InvalidGroups(format!("group {j} is empty")));
+            }
+            if let Some(bad) = g.iter().find(|x| x.len() != d) {
+                return Err(HdpError::InvalidGroups(format!(
+                    "group {j} has a point of dimension {} (expected {d})",
+                    bad.len()
+                )));
+            }
+            if g.iter().any(|x| !osr_linalg::vector::all_finite(x)) {
+                return Err(HdpError::InvalidGroups(format!(
+                    "group {j} contains non-finite values"
+                )));
+            }
+        }
+        let assignment = groups.iter().map(|g| vec![usize::MAX; g.len()]).collect();
+        let n_groups = groups.len();
+        let prior_post = NiwPosterior::from_prior(&params);
+        // Initialize the concentrations at their prior means.
+        let gamma = config.gamma_prior.0 / config.gamma_prior.1;
+        let alpha = config.alpha_prior.0 / config.alpha_prior.1;
+        Ok(Self {
+            state: FranchiseState {
+                params,
+                groups,
+                assignment,
+                tables: vec![Vec::new(); n_groups],
+                dishes: Vec::new(),
+                gamma,
+                alpha,
+            },
+            config,
+            prior_post,
+            initialized: false,
+        })
+    }
+
+    /// Run the configured number of Gibbs sweeps (initializing with a
+    /// sequential CRF pass first).
+    pub fn run<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.ensure_initialized(rng);
+        for _ in 0..self.config.iterations {
+            self.sweep(rng);
+        }
+    }
+
+    /// One full Gibbs sweep (tables, then dishes, then concentrations).
+    pub fn sweep<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.ensure_initialized(rng);
+        for j in 0..self.state.groups.len() {
+            for i in 0..self.state.groups[j].len() {
+                self.sample_table_for_item(j, i, rng);
+            }
+        }
+        self.resample_dishes(rng);
+        if self.config.resample_concentrations {
+            self.resample_concentrations(rng);
+        }
+    }
+
+    fn ensure_initialized<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if self.initialized {
+            return;
+        }
+        self.initialized = true;
+        for j in 0..self.state.groups.len() {
+            for i in 0..self.state.groups[j].len() {
+                self.sample_table_for_item(j, i, rng);
+            }
+        }
+    }
+
+    /// Resample `t_ji` (Eq. 7): seat item `i` of group `j` at an existing
+    /// table with probability ∝ `n_jt · f_k(x)` or at a new table with
+    /// probability ∝ `α₀ · p(x)`, where `p(x)` marginalizes the new table's
+    /// dish over the global menu.
+    fn sample_table_for_item<R: Rng + ?Sized>(&mut self, j: usize, i: usize, rng: &mut R) {
+        self.unseat(j, i);
+        let x = std::mem::take(&mut self.state.groups[j][i]);
+
+        // Predictive of x under every live dish, and under the prior.
+        let dish_pred: Vec<(DishId, f64)> = self
+            .state
+            .live_dishes()
+            .map(|(id, d)| (id, d.posterior.predictive_logpdf(&x)))
+            .collect();
+        let prior_pred = self.prior_post.predictive_logpdf(&x);
+
+        // New-table marginal: Σ_k m_k/(M+γ) f_k + γ/(M+γ) f_0.
+        let total_tables = self.state.total_tables() as f64;
+        let gamma = self.state.gamma;
+        let mut menu_lw: Vec<f64> = dish_pred
+            .iter()
+            .map(|&(id, lp)| (self.state.dish(id).n_tables as f64).ln() + lp)
+            .collect();
+        menu_lw.push(gamma.ln() + prior_pred);
+        let new_table_marginal = log_sum_exp(&menu_lw) - (total_tables + gamma).ln();
+
+        // Candidate log-weights: one per existing table, then the new table.
+        let tables = &self.state.tables[j];
+        let mut lw: Vec<f64> = Vec::with_capacity(tables.len() + 1);
+        for table in tables {
+            let pred = dish_pred
+                .iter()
+                .find(|&&(id, _)| id == table.dish)
+                .map(|&(_, lp)| lp)
+                .expect("table serves a live dish");
+            lw.push((table.members.len() as f64).ln() + pred);
+        }
+        lw.push(self.state.alpha.ln() + new_table_marginal);
+
+        let choice = sampling::categorical_log(rng, &lw);
+        if choice < tables.len() {
+            // Existing table.
+            let dish = self.state.tables[j][choice].dish;
+            self.state.dish_mut(dish).posterior.add(&x);
+            self.state.tables[j][choice].members.push(i);
+            self.state.assignment[j][i] = choice;
+        } else {
+            // New table: draw its dish from the menu posterior (same
+            // mixture that formed the marginal above).
+            let menu_choice = sampling::categorical_log(rng, &menu_lw);
+            let dish = if menu_choice < dish_pred.len() {
+                dish_pred[menu_choice].0
+            } else {
+                self.state.new_dish()
+            };
+            self.state.dish_mut(dish).posterior.add(&x);
+            self.state.dish_mut(dish).n_tables += 1;
+            self.state.tables[j].push(Table { dish, members: vec![i] });
+            self.state.assignment[j][i] = self.state.tables[j].len() - 1;
+        }
+        self.state.groups[j][i] = x;
+    }
+
+    /// Remove item `i` of group `j` from its table (no-op when unseated),
+    /// deleting the table if it empties and retiring orphaned dishes.
+    fn unseat(&mut self, j: usize, i: usize) {
+        let ti = self.state.assignment[j][i];
+        if ti == usize::MAX {
+            return;
+        }
+        self.state.assignment[j][i] = usize::MAX;
+        let dish = self.state.tables[j][ti].dish;
+        {
+            let x = std::mem::take(&mut self.state.groups[j][i]);
+            self.state.dish_mut(dish).posterior.remove(&x);
+            self.state.groups[j][i] = x;
+        }
+        let table = &mut self.state.tables[j][ti];
+        let pos = table
+            .members
+            .iter()
+            .position(|&m| m == i)
+            .expect("item must be a member of its assigned table");
+        table.members.swap_remove(pos);
+        if table.members.is_empty() {
+            self.state.tables[j].swap_remove(ti);
+            // The table that was last is now at ti: fix its members' links.
+            if ti < self.state.tables[j].len() {
+                let moved_members = self.state.tables[j][ti].members.clone();
+                for m in moved_members {
+                    self.state.assignment[j][m] = ti;
+                }
+            }
+            let d = self.state.dish_mut(dish);
+            d.n_tables -= 1;
+            self.state.retire_if_empty(dish);
+        }
+    }
+
+    /// Resample `k_jt` for every table (Eq. 8): an existing dish with
+    /// probability ∝ `m_k · ∏ f_k(x_table)` or a new one with probability
+    /// ∝ `γ · ∏ p(x_table)`.
+    fn resample_dishes<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for j in 0..self.state.tables.len() {
+            for ti in 0..self.state.tables[j].len() {
+                self.resample_dish_of_table(j, ti, rng);
+            }
+        }
+    }
+
+    fn resample_dish_of_table<R: Rng + ?Sized>(&mut self, j: usize, ti: usize, rng: &mut R) {
+        let old_dish = self.state.tables[j][ti].dish;
+        let members = self.state.tables[j][ti].members.clone();
+        // Owned copy of the block so scoring can mutably borrow the dishes.
+        let block: Vec<Vec<f64>> =
+            members.iter().map(|&m| self.state.groups[j][m].clone()).collect();
+
+        // Detach the block from its dish.
+        {
+            let FranchiseState { groups, dishes, .. } = &mut self.state;
+            let dish = dishes[old_dish].as_mut().expect("table serves a live dish");
+            for &m in &members {
+                dish.posterior.remove(&groups[j][m]);
+            }
+            dish.n_tables -= 1;
+        }
+        self.state.retire_if_empty(old_dish);
+
+        // Score every live dish plus a fresh one.
+        let block_refs: Vec<&[f64]> = block.iter().map(Vec::as_slice).collect();
+        let live_ids: Vec<DishId> = self.state.live_dishes().map(|(id, _)| id).collect();
+        let mut lw = Vec::with_capacity(live_ids.len() + 1);
+        for &id in &live_ids {
+            let dish = self.state.dishes[id].as_mut().expect("live id");
+            let lp = dish.posterior.block_predictive_logpdf(&block_refs);
+            lw.push((dish.n_tables as f64).ln() + lp);
+        }
+        {
+            let mut scratch = self.prior_post.clone();
+            let lp = scratch.block_predictive_logpdf(&block_refs);
+            lw.push(self.state.gamma.ln() + lp);
+        }
+
+        let choice = sampling::categorical_log(rng, &lw);
+        let new_dish =
+            if choice < live_ids.len() { live_ids[choice] } else { self.state.new_dish() };
+        {
+            let FranchiseState { groups, dishes, .. } = &mut self.state;
+            let dish = dishes[new_dish].as_mut().expect("chosen dish is live");
+            for &m in &members {
+                dish.posterior.add(&groups[j][m]);
+            }
+            dish.n_tables += 1;
+        }
+        self.state.tables[j][ti].dish = new_dish;
+    }
+
+    fn resample_concentrations<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let total_tables = self.state.total_tables();
+        let k = self.state.n_dishes();
+        if total_tables == 0 || k == 0 {
+            return;
+        }
+        self.state.gamma =
+            resample_gamma(rng, self.state.gamma, k, total_tables, self.config.gamma_prior);
+        let group_sizes: Vec<usize> = self.state.groups.iter().map(Vec::len).collect();
+        self.state.alpha = resample_alpha(
+            rng,
+            self.state.alpha,
+            total_tables,
+            &group_sizes,
+            self.config.alpha_prior,
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Read-only queries
+    // ------------------------------------------------------------------
+
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.state.groups.len()
+    }
+
+    /// Number of live dishes (global mixture components / subclasses).
+    pub fn n_dishes(&self) -> usize {
+        self.state.n_dishes()
+    }
+
+    /// Total number of tables across all groups (`m_··`).
+    pub fn total_tables(&self) -> usize {
+        self.state.total_tables()
+    }
+
+    /// Current top-level concentration γ.
+    pub fn gamma(&self) -> f64 {
+        self.state.gamma
+    }
+
+    /// Current group-level concentration α₀.
+    pub fn alpha(&self) -> f64 {
+        self.state.alpha
+    }
+
+    /// Dish currently explaining item `i` of group `j`.
+    ///
+    /// # Panics
+    /// Panics before the first sweep/run or on out-of-range indices.
+    pub fn dish_of(&self, group: usize, item: usize) -> DishId {
+        let ti = self.state.assignment[group][item];
+        assert!(ti != usize::MAX, "dish_of: sampler has not run yet");
+        self.state.tables[group][ti].dish
+    }
+
+    /// Per-dish item counts within one group, sorted by descending count.
+    pub fn group_summary(&self, group: usize) -> GroupSummary {
+        let mut counts: std::collections::BTreeMap<DishId, usize> = Default::default();
+        for table in &self.state.tables[group] {
+            *counts.entry(table.dish).or_insert(0) += table.members.len();
+        }
+        let mut dish_counts: Vec<(DishId, usize)> = counts.into_iter().collect();
+        dish_counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        GroupSummary {
+            group,
+            n_items: self.state.groups[group].len(),
+            n_tables: self.state.tables[group].len(),
+            dish_counts,
+        }
+    }
+
+    /// Summaries of every live dish, sorted by id.
+    pub fn dish_summaries(&self) -> Vec<DishSummary> {
+        self.state
+            .live_dishes()
+            .map(|(id, d)| DishSummary {
+                id,
+                n_tables: d.n_tables,
+                n_items: d.posterior.count(),
+                mean: d.posterior.mean().to_vec(),
+            })
+            .collect()
+    }
+
+    /// Posterior predictive log-density of a point under one dish.
+    pub fn dish_predictive_logpdf(&self, dish: DishId, x: &[f64]) -> f64 {
+        self.state.dish(dish).posterior.predictive_logpdf(x)
+    }
+
+    /// Joint log marginal likelihood of all data given the current seating
+    /// (sum of per-dish closed-form marginals) — a convergence diagnostic.
+    pub fn joint_log_likelihood(&self) -> f64 {
+        self.state
+            .live_dishes()
+            .map(|(_, d)| d.posterior.log_marginal(&self.state.params))
+            .sum()
+    }
+
+    /// Exhaustive state audit (tests run this after every sweep).
+    ///
+    /// # Panics
+    /// Panics on any bookkeeping inconsistency.
+    pub fn check_invariants(&self) {
+        if self.initialized {
+            self.state.check_invariants();
+        }
+    }
+
+    /// The base-measure parameters.
+    pub fn params(&self) -> &NiwParams {
+        &self.state.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osr_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn niw(d: usize, psi_scale: f64) -> NiwParams {
+        NiwParams::new(vec![0.0; d], 1.0, d as f64 + 3.0, Matrix::scaled_identity(d, psi_scale))
+            .unwrap()
+    }
+
+    fn blob(rng: &mut StdRng, center: &[f64], n: usize, std: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                center
+                    .iter()
+                    .map(|&c| c + std * osr_stats::sampling::standard_normal(rng))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Small fixed-concentration config for fast, predictable tests.
+    fn test_config(iters: usize) -> HdpConfig {
+        HdpConfig {
+            gamma_prior: (2.0, 1.0),
+            alpha_prior: (2.0, 1.0),
+            resample_concentrations: true,
+            iterations: iters,
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let p = niw(2, 1.0);
+        assert!(Hdp::new(p.clone(), test_config(1), vec![]).is_err());
+        assert!(Hdp::new(p.clone(), test_config(1), vec![vec![]]).is_err());
+        assert!(Hdp::new(p.clone(), test_config(1), vec![vec![vec![0.0]]]).is_err());
+        assert!(
+            Hdp::new(p.clone(), test_config(1), vec![vec![vec![f64::NAN, 0.0]]]).is_err()
+        );
+        let mut cfg = test_config(1);
+        cfg.iterations = 0;
+        assert!(Hdp::new(p, cfg, vec![vec![vec![0.0, 0.0]]]).is_err());
+    }
+
+    #[test]
+    fn invariants_hold_across_sweeps() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g1 = blob(&mut rng, &[0.0, 0.0], 30, 0.5);
+        let g2 = blob(&mut rng, &[5.0, 5.0], 30, 0.5);
+        let mut hdp = Hdp::new(niw(2, 1.0), test_config(1), vec![g1, g2]).unwrap();
+        for _ in 0..8 {
+            hdp.sweep(&mut rng);
+            hdp.check_invariants();
+        }
+    }
+
+    #[test]
+    fn separated_clusters_get_distinct_dishes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut group = blob(&mut rng, &[-8.0, 0.0], 40, 0.5);
+        group.extend(blob(&mut rng, &[8.0, 0.0], 40, 0.5));
+        let mut hdp = Hdp::new(niw(2, 1.0), test_config(10), vec![group]).unwrap();
+        hdp.run(&mut rng);
+        hdp.check_invariants();
+        // The two spatial clusters must not share a dish.
+        let left: std::collections::HashSet<_> = (0..40).map(|i| hdp.dish_of(0, i)).collect();
+        let right: std::collections::HashSet<_> = (40..80).map(|i| hdp.dish_of(0, i)).collect();
+        assert!(left.is_disjoint(&right), "left {left:?} overlaps right {right:?}");
+    }
+
+    #[test]
+    fn same_cluster_across_groups_shares_a_dish() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Two groups drawn from the SAME tight cluster: co-clustering should
+        // put the bulk of both on one shared dish.
+        let g1 = blob(&mut rng, &[3.0, -2.0], 50, 0.4);
+        let g2 = blob(&mut rng, &[3.0, -2.0], 50, 0.4);
+        let mut hdp = Hdp::new(niw(2, 1.0), test_config(10), vec![g1, g2]).unwrap();
+        hdp.run(&mut rng);
+        let top1 = hdp.group_summary(0).dish_counts[0].0;
+        let top2 = hdp.group_summary(1).dish_counts[0].0;
+        assert_eq!(top1, top2, "dominant dishes should coincide across groups");
+    }
+
+    #[test]
+    fn distinct_groups_do_not_share_with_large_gamma() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g1 = blob(&mut rng, &[-6.0, 0.0], 40, 0.5);
+        let g2 = blob(&mut rng, &[6.0, 0.0], 40, 0.5);
+        // Paper-style large γ.
+        let cfg = HdpConfig { gamma_prior: (100.0, 1.0), ..test_config(10) };
+        let mut hdp = Hdp::new(niw(2, 1.0), cfg, vec![g1, g2]).unwrap();
+        hdp.run(&mut rng);
+        let d1: std::collections::HashSet<_> =
+            hdp.group_summary(0).dish_counts.iter().map(|&(d, _)| d).collect();
+        let d2: std::collections::HashSet<_> =
+            hdp.group_summary(1).dish_counts.iter().map(|&(d, _)| d).collect();
+        assert!(d1.is_disjoint(&d2), "distinct classes should use distinct dishes");
+    }
+
+    #[test]
+    fn dish_summaries_are_consistent_with_group_counts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g1 = blob(&mut rng, &[0.0, 0.0], 25, 0.6);
+        let g2 = blob(&mut rng, &[4.0, 4.0], 25, 0.6);
+        let mut hdp = Hdp::new(niw(2, 1.0), test_config(5), vec![g1, g2]).unwrap();
+        hdp.run(&mut rng);
+        let total_from_dishes: usize = hdp.dish_summaries().iter().map(|d| d.n_items).sum();
+        assert_eq!(total_from_dishes, 50);
+        let total_from_groups: usize = (0..2)
+            .map(|j| hdp.group_summary(j).dish_counts.iter().map(|&(_, c)| c).sum::<usize>())
+            .sum();
+        assert_eq!(total_from_groups, 50);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_under_seed() {
+        let data = {
+            let mut rng = StdRng::seed_from_u64(6);
+            vec![blob(&mut rng, &[0.0, 0.0], 20, 1.0), blob(&mut rng, &[3.0, 3.0], 20, 1.0)]
+        };
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut hdp = Hdp::new(niw(2, 1.0), test_config(3), data.clone()).unwrap();
+            hdp.run(&mut rng);
+            (0..2).flat_map(|j| (0..20).map(move |i| (j, i)))
+                .map(|(j, i)| hdp.dish_of(j, i))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn joint_log_likelihood_is_finite_and_improves_with_structure() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut group = blob(&mut rng, &[-10.0, 0.0], 30, 0.3);
+        group.extend(blob(&mut rng, &[10.0, 0.0], 30, 0.3));
+        let mut hdp = Hdp::new(niw(2, 1.0), test_config(1), vec![group]).unwrap();
+        hdp.sweep(&mut rng);
+        let early = hdp.joint_log_likelihood();
+        assert!(early.is_finite());
+        for _ in 0..10 {
+            hdp.sweep(&mut rng);
+        }
+        let late = hdp.joint_log_likelihood();
+        assert!(late.is_finite());
+        // Gibbs is stochastic but on this trivially separable problem ten
+        // sweeps should not make things dramatically worse.
+        assert!(late > early - 50.0, "likelihood collapsed: {early} -> {late}");
+    }
+
+    #[test]
+    fn concentrations_stay_positive() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = blob(&mut rng, &[0.0, 0.0], 40, 1.0);
+        let mut hdp = Hdp::new(niw(2, 1.0), test_config(5), vec![g]).unwrap();
+        hdp.run(&mut rng);
+        assert!(hdp.gamma() > 0.0 && hdp.gamma().is_finite());
+        assert!(hdp.alpha() > 0.0 && hdp.alpha().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "has not run yet")]
+    fn dish_of_requires_a_run() {
+        let hdp =
+            Hdp::new(niw(2, 1.0), test_config(1), vec![vec![vec![0.0, 0.0]]]).unwrap();
+        let _ = hdp.dish_of(0, 0);
+    }
+
+    #[test]
+    fn single_group_single_point() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut hdp =
+            Hdp::new(niw(2, 1.0), test_config(2), vec![vec![vec![1.0, -1.0]]]).unwrap();
+        hdp.run(&mut rng);
+        hdp.check_invariants();
+        assert_eq!(hdp.n_dishes(), 1);
+        assert_eq!(hdp.total_tables(), 1);
+    }
+}

@@ -1,0 +1,316 @@
+//! Bookkeeping state of the Chinese Restaurant Franchise: groups, tables,
+//! dishes, and the sufficient statistics each dish carries.
+
+use serde::{Deserialize, Serialize};
+
+use osr_stats::{NiwParams, NiwPosterior};
+
+/// Stable identifier of a dish (global mixture component / HDP-OSR
+/// *subclass*). Dish ids are never reused within a sampler's lifetime, so
+/// they can be reported across iterations (the `S_k` labels of the paper's
+/// Tables 1–2).
+pub type DishId = usize;
+
+/// Sampler configuration (§4.1.2 values as defaults).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HdpConfig {
+    /// Gamma prior (shape, rate) on the top-level concentration γ.
+    /// Paper: Gamma(100, 1), chosen large to discourage dish sharing between
+    /// known classes.
+    pub gamma_prior: (f64, f64),
+    /// Gamma prior (shape, rate) on the group-level concentration α₀.
+    /// Paper: Gamma(10, 1).
+    pub alpha_prior: (f64, f64),
+    /// Resample γ and α₀ each sweep (disable to run at fixed values).
+    pub resample_concentrations: bool,
+    /// Number of Gibbs sweeps for [`crate::Hdp::run`]. Paper: 30.
+    pub iterations: usize,
+}
+
+impl Default for HdpConfig {
+    fn default() -> Self {
+        Self {
+            gamma_prior: (100.0, 1.0),
+            alpha_prior: (10.0, 1.0),
+            resample_concentrations: true,
+            iterations: 30,
+        }
+    }
+}
+
+impl HdpConfig {
+    pub(crate) fn validate(&self) -> crate::Result<()> {
+        for (name, (a, b)) in
+            [("gamma_prior", self.gamma_prior), ("alpha_prior", self.alpha_prior)]
+        {
+            if !(a > 0.0 && b > 0.0 && a.is_finite() && b.is_finite()) {
+                return Err(crate::HdpError::InvalidConfig(format!(
+                    "{name} must have positive finite shape/rate, got ({a}, {b})"
+                )));
+            }
+        }
+        if self.iterations == 0 {
+            return Err(crate::HdpError::InvalidConfig("iterations must be ≥ 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One table in a restaurant: the dish it serves plus the indices (within
+/// the group) of the items sitting at it.
+#[derive(Debug, Clone)]
+pub(crate) struct Table {
+    pub dish: DishId,
+    pub members: Vec<usize>,
+}
+
+/// One dish on the global menu.
+#[derive(Debug, Clone)]
+pub(crate) struct Dish {
+    /// NIW posterior over the dish's component parameters, absorbing every
+    /// item at every table serving it.
+    pub posterior: NiwPosterior,
+    /// Number of tables (across all restaurants) serving this dish (`m_·k`).
+    pub n_tables: usize,
+}
+
+/// The full mutable franchise state.
+#[derive(Debug, Clone)]
+pub(crate) struct FranchiseState {
+    /// Base measure H.
+    pub params: NiwParams,
+    /// Item data, owned: `groups[j][i]` is observation `x_ji`.
+    pub groups: Vec<Vec<Vec<f64>>>,
+    /// `assignment[j][i]` = index into `tables[j]` (usize::MAX = unseated,
+    /// only during initialization).
+    pub assignment: Vec<Vec<usize>>,
+    /// Tables per restaurant.
+    pub tables: Vec<Vec<Table>>,
+    /// Global menu, keyed by stable [`DishId`]; `None` slots are retired
+    /// dishes (ids are not reused).
+    pub dishes: Vec<Option<Dish>>,
+    /// Top-level concentration γ.
+    pub gamma: f64,
+    /// Group-level concentration α₀.
+    pub alpha: f64,
+}
+
+impl FranchiseState {
+    /// Total number of occupied tables across restaurants (`m_··`).
+    pub fn total_tables(&self) -> usize {
+        self.tables.iter().map(Vec::len).sum()
+    }
+
+    /// Number of live dishes (`K`).
+    pub fn n_dishes(&self) -> usize {
+        self.dishes.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// Iterate over live `(DishId, &Dish)` pairs.
+    pub fn live_dishes(&self) -> impl Iterator<Item = (DishId, &Dish)> {
+        self.dishes.iter().enumerate().filter_map(|(id, d)| d.as_ref().map(|d| (id, d)))
+    }
+
+    /// Allocate a new dish starting from the prior.
+    pub fn new_dish(&mut self) -> DishId {
+        let id = self.dishes.len();
+        self.dishes.push(Some(Dish {
+            posterior: NiwPosterior::from_prior(&self.params),
+            n_tables: 0,
+        }));
+        id
+    }
+
+    /// Mutable access to a live dish.
+    ///
+    /// # Panics
+    /// Panics when the dish is retired — that is a sampler bug.
+    pub fn dish_mut(&mut self, id: DishId) -> &mut Dish {
+        self.dishes[id].as_mut().expect("dish_mut: retired dish")
+    }
+
+    /// Shared access to a live dish.
+    pub fn dish(&self, id: DishId) -> &Dish {
+        self.dishes[id].as_ref().expect("dish: retired dish")
+    }
+
+    /// Retire a dish once no table serves it.
+    pub fn retire_if_empty(&mut self, id: DishId) {
+        let empty = {
+            let d = self.dish(id);
+            d.n_tables == 0 && d.posterior.count() == 0
+        };
+        if empty {
+            self.dishes[id] = None;
+        }
+    }
+
+    /// Exhaustive O(n) consistency audit; used by tests after every sweep.
+    ///
+    /// # Panics
+    /// Panics on any bookkeeping violation, with a message naming it.
+    pub fn check_invariants(&self) {
+        let mut dish_tables = vec![0usize; self.dishes.len()];
+        let mut dish_items = vec![0usize; self.dishes.len()];
+        for (j, tables) in self.tables.iter().enumerate() {
+            let mut seated = vec![false; self.groups[j].len()];
+            for (ti, table) in tables.iter().enumerate() {
+                assert!(!table.members.is_empty(), "group {j} table {ti} is empty");
+                assert!(
+                    self.dishes.get(table.dish).is_some_and(Option::is_some),
+                    "group {j} table {ti} serves retired dish {}",
+                    table.dish
+                );
+                dish_tables[table.dish] += 1;
+                dish_items[table.dish] += table.members.len();
+                for &m in &table.members {
+                    assert!(!seated[m], "item {m} of group {j} seated twice");
+                    seated[m] = true;
+                    assert_eq!(
+                        self.assignment[j][m], ti,
+                        "assignment of item {m} in group {j} disagrees with table membership"
+                    );
+                }
+            }
+            assert!(
+                seated.iter().all(|&s| s),
+                "group {j} has unseated items outside initialization"
+            );
+        }
+        for (id, dish) in self.dishes.iter().enumerate() {
+            if let Some(d) = dish {
+                assert_eq!(d.n_tables, dish_tables[id], "dish {id} table count drift");
+                assert_eq!(d.posterior.count(), dish_items[id], "dish {id} item count drift");
+                assert!(d.n_tables > 0, "live dish {id} has no tables");
+            } else {
+                assert_eq!(dish_tables[id], 0, "retired dish {id} still served");
+            }
+        }
+    }
+}
+
+/// Public read-only summary of one dish.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DishSummary {
+    /// Stable dish id (the paper's subclass label `S_k`).
+    pub id: DishId,
+    /// Tables serving it across all groups (`m_·k`).
+    pub n_tables: usize,
+    /// Items absorbed across all groups.
+    pub n_items: usize,
+    /// Posterior mean of the component.
+    pub mean: Vec<f64>,
+}
+
+/// Public read-only summary of one group's composition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupSummary {
+    /// Group index.
+    pub group: usize,
+    /// Number of items.
+    pub n_items: usize,
+    /// Number of tables.
+    pub n_tables: usize,
+    /// `(dish id, item count)` per dish used in this group, sorted by
+    /// descending count.
+    pub dish_counts: Vec<(DishId, usize)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osr_linalg::Matrix;
+
+    fn params() -> NiwParams {
+        NiwParams::new(vec![0.0, 0.0], 1.0, 4.0, Matrix::identity(2)).unwrap()
+    }
+
+    fn empty_state() -> FranchiseState {
+        FranchiseState {
+            params: params(),
+            groups: vec![vec![vec![0.0, 0.0], vec![1.0, 1.0]]],
+            assignment: vec![vec![usize::MAX, usize::MAX]],
+            tables: vec![vec![]],
+            dishes: vec![],
+            gamma: 1.0,
+            alpha: 1.0,
+        }
+    }
+
+    #[test]
+    fn config_defaults_match_paper() {
+        let c = HdpConfig::default();
+        assert_eq!(c.gamma_prior, (100.0, 1.0));
+        assert_eq!(c.alpha_prior, (10.0, 1.0));
+        assert_eq!(c.iterations, 30);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_values() {
+        let c = HdpConfig { iterations: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = HdpConfig { gamma_prior: (0.0, 1.0), ..Default::default() };
+        assert!(c.validate().is_err());
+        let c = HdpConfig { alpha_prior: (1.0, f64::NAN), ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn dish_lifecycle() {
+        let mut s = empty_state();
+        let id = s.new_dish();
+        assert_eq!(id, 0);
+        assert_eq!(s.n_dishes(), 1);
+        // Untouched dish retires.
+        s.retire_if_empty(id);
+        assert_eq!(s.n_dishes(), 0);
+        // New ids are not reused.
+        let id2 = s.new_dish();
+        assert_eq!(id2, 1);
+    }
+
+    #[test]
+    fn invariants_accept_consistent_state() {
+        let mut s = empty_state();
+        let dish = s.new_dish();
+        let x0 = s.groups[0][0].clone();
+        let x1 = s.groups[0][1].clone();
+        s.dish_mut(dish).posterior.add(&x0);
+        s.dish_mut(dish).posterior.add(&x1);
+        s.dish_mut(dish).n_tables = 1;
+        s.tables[0].push(Table { dish, members: vec![0, 1] });
+        s.assignment[0] = vec![0, 0];
+        s.check_invariants();
+        assert_eq!(s.total_tables(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "table count drift")]
+    fn invariants_catch_table_count_drift() {
+        let mut s = empty_state();
+        let dish = s.new_dish();
+        let x0 = s.groups[0][0].clone();
+        let x1 = s.groups[0][1].clone();
+        s.dish_mut(dish).posterior.add(&x0);
+        s.dish_mut(dish).posterior.add(&x1);
+        s.dish_mut(dish).n_tables = 2; // lie
+        s.tables[0].push(Table { dish, members: vec![0, 1] });
+        s.assignment[0] = vec![0, 0];
+        s.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "seated twice")]
+    fn invariants_catch_double_seating() {
+        let mut s = empty_state();
+        let dish = s.new_dish();
+        let x0 = s.groups[0][0].clone();
+        s.dish_mut(dish).posterior.add(&x0);
+        s.dish_mut(dish).posterior.add(&x0);
+        s.dish_mut(dish).n_tables = 1;
+        s.tables[0].push(Table { dish, members: vec![0, 0] });
+        s.assignment[0] = vec![0, 0];
+        s.check_invariants();
+    }
+}

@@ -1,0 +1,197 @@
+use crate::{LinalgError, Matrix, Result};
+
+/// Eigendecomposition of a symmetric matrix via the cyclic Jacobi method.
+///
+/// Jacobi is slow for very large matrices but unconditionally stable and
+/// simple; the only consumer here is PCA on covariance matrices up to
+/// 256 × 256 (the USPS replica), where it finishes in well under a second.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues in **descending** order.
+    pub values: Vec<f64>,
+    /// Matching eigenvectors, one per **column** of this matrix.
+    pub vectors: Matrix,
+}
+
+impl SymEigen {
+    /// Decompose a symmetric matrix. Only the lower triangle is trusted; the
+    /// matrix is symmetrized first so tiny round-off skew is harmless.
+    ///
+    /// # Errors
+    /// [`LinalgError::NonFiniteInput`] for NaN/inf entries and
+    /// [`LinalgError::EigenNoConvergence`] if 100 sweeps do not reduce the
+    /// off-diagonal mass below tolerance (does not happen for well-scaled
+    /// covariance matrices).
+    ///
+    /// # Panics
+    /// Panics when `a` is not square.
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        assert!(a.is_square(), "SymEigen::decompose: matrix must be square");
+        if !a.all_finite() {
+            return Err(LinalgError::NonFiniteInput);
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Ok(Self { values: Vec::new(), vectors: Matrix::zeros(0, 0) });
+        }
+        let mut m = a.clone();
+        m.symmetrize();
+        let mut v = Matrix::identity(n);
+        let scale = m.frobenius_norm().max(1.0);
+        let tol = 1e-14 * scale;
+
+        const MAX_SWEEPS: usize = 100;
+        for _ in 0..MAX_SWEEPS {
+            let off = off_diagonal_norm(&m);
+            if off <= tol {
+                return Ok(Self::sorted(m, v));
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= tol / (n * n) as f64 {
+                        continue;
+                    }
+                    let (c, s) = jacobi_rotation(m[(p, p)], m[(q, q)], apq);
+                    apply_rotation(&mut m, &mut v, p, q, c, s);
+                }
+            }
+        }
+        let off = off_diagonal_norm(&m);
+        if off <= tol * 10.0 {
+            Ok(Self::sorted(m, v))
+        } else {
+            Err(LinalgError::EigenNoConvergence { off_diagonal: off })
+        }
+    }
+
+    fn sorted(m: Matrix, v: Matrix) -> Self {
+        let n = m.rows();
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&i, &j| m[(j, j)].partial_cmp(&m[(i, i)]).expect("finite eigenvalues"));
+        let values: Vec<f64> = idx.iter().map(|&i| m[(i, i)]).collect();
+        let mut vectors = Matrix::zeros(n, n);
+        for (new_c, &old_c) in idx.iter().enumerate() {
+            for r in 0..n {
+                vectors[(r, new_c)] = v[(r, old_c)];
+            }
+        }
+        Self { values, vectors }
+    }
+}
+
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut acc = 0.0;
+    for p in 0..n {
+        for q in (p + 1)..n {
+            acc += 2.0 * m[(p, q)] * m[(p, q)];
+        }
+    }
+    acc.sqrt()
+}
+
+/// Classic Jacobi rotation angle for annihilating `a_pq`.
+fn jacobi_rotation(app: f64, aqq: f64, apq: f64) -> (f64, f64) {
+    let theta = (aqq - app) / (2.0 * apq);
+    let t = if theta >= 0.0 {
+        1.0 / (theta + (1.0 + theta * theta).sqrt())
+    } else {
+        1.0 / (theta - (1.0 + theta * theta).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    (c, t * c)
+}
+
+fn apply_rotation(m: &mut Matrix, v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.rows();
+    let app = m[(p, p)];
+    let aqq = m[(q, q)];
+    let apq = m[(p, q)];
+    m[(p, p)] = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+    m[(q, q)] = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+    m[(p, q)] = 0.0;
+    m[(q, p)] = 0.0;
+    for i in 0..n {
+        if i != p && i != q {
+            let aip = m[(i, p)];
+            let aiq = m[(i, q)];
+            m[(i, p)] = c * aip - s * aiq;
+            m[(p, i)] = m[(i, p)];
+            m[(i, q)] = s * aip + c * aiq;
+            m[(q, i)] = m[(i, q)];
+        }
+    }
+    for i in 0..n {
+        let vip = v[(i, p)];
+        let viq = v[(i, q)];
+        v[(i, p)] = c * vip - s * viq;
+        v[(i, q)] = s * vip + c * viq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = SymEigen::decompose(&a).unwrap();
+        assert_eq!(e.values, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn two_by_two_closed_form() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = SymEigen::decompose(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_v_lambda_vt() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 5.0, -1.0],
+            vec![0.5, -1.0, 3.0],
+        ]);
+        let e = SymEigen::decompose(&a).unwrap();
+        let lam = Matrix::from_diag(&e.values);
+        let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        assert!((&rec - &a).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ]);
+        let e = SymEigen::decompose(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors);
+        assert!((&vtv - &Matrix::identity(3)).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = Matrix::from_rows(&[vec![1.0, 0.2], vec![0.2, -3.0]]);
+        let e = SymEigen::decompose(&a).unwrap();
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_yields_empty_decomposition() {
+        let e = SymEigen::decompose(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let a = Matrix::from_rows(&[vec![f64::INFINITY]]);
+        assert!(matches!(SymEigen::decompose(&a), Err(LinalgError::NonFiniteInput)));
+    }
+}

@@ -1,0 +1,54 @@
+use std::fmt;
+
+/// Errors produced by the linear-algebra routines.
+///
+/// Shape mismatches are programming errors and panic instead; this type only
+/// covers failures that depend on the numerical content of the input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Cholesky factorization hit a non-positive pivot: the matrix is not
+    /// (numerically) positive definite. Carries the offending pivot index and
+    /// value for diagnostics.
+    NotPositiveDefinite {
+        /// Row/column at which the factorization broke down.
+        pivot: usize,
+        /// Value of the failed diagonal pivot.
+        value: f64,
+    },
+    /// A rank-1 downdate would destroy positive definiteness.
+    DowndateBreaksSpd {
+        /// Row/column at which the downdate broke down.
+        pivot: usize,
+    },
+    /// The Jacobi eigensolver did not converge within its sweep budget.
+    EigenNoConvergence {
+        /// Largest remaining off-diagonal magnitude when iteration stopped.
+        off_diagonal: f64,
+    },
+    /// An input that must be non-empty (e.g. PCA sample set) was empty.
+    EmptyInput,
+    /// An input contained NaN or infinity where finite values are required.
+    NonFiniteInput,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite (pivot {pivot} = {value:.6e})"
+            ),
+            Self::DowndateBreaksSpd { pivot } => {
+                write!(f, "rank-1 downdate breaks positive definiteness at pivot {pivot}")
+            }
+            Self::EigenNoConvergence { off_diagonal } => write!(
+                f,
+                "Jacobi eigensolver failed to converge (residual off-diagonal {off_diagonal:.3e})"
+            ),
+            Self::EmptyInput => write!(f, "input must be non-empty"),
+            Self::NonFiniteInput => write!(f, "input contains NaN or infinite values"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

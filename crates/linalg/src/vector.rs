@@ -1,0 +1,185 @@
+//! Free functions over `&[f64]` slices.
+//!
+//! Every crate in the workspace represents feature vectors as plain slices;
+//! these helpers keep the hot loops (kernel evaluations, Mahalanobis terms,
+//! nearest-neighbour scans) branch-light and allocation-free.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two points.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist_sq: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two points.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    dist_sq(a, b).sqrt()
+}
+
+/// `y += alpha * x` in place.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha` in place.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise sum of two slices into a fresh vector.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b` into a fresh vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Arithmetic mean of a set of equal-length points, one slice per row.
+///
+/// Returns `None` when `points` is empty.
+pub fn mean(points: &[&[f64]]) -> Option<Vec<f64>> {
+    let first = points.first()?;
+    let mut acc = vec![0.0; first.len()];
+    for p in points {
+        axpy(1.0, p, &mut acc);
+    }
+    scale(1.0 / points.len() as f64, &mut acc);
+    Some(acc)
+}
+
+/// True when every component is finite.
+#[inline]
+pub fn all_finite(a: &[f64]) -> bool {
+    a.iter().all(|x| x.is_finite())
+}
+
+/// Index of the maximum element; ties resolve to the first occurrence.
+///
+/// Returns `None` on an empty slice or when all elements are NaN.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in a.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bx)) if bx >= x => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element; ties resolve to the first occurrence.
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    let neg: Vec<f64> = a.iter().map(|x| -x).collect();
+    argmax(&neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_of_empty_slices_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_panics_on_length_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norm_of_pythagorean_triple() {
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist_is_symmetric_and_zero_on_identical_points() {
+        let a = [1.0, -2.0, 0.5];
+        let b = [0.0, 3.5, 2.0];
+        assert!((dist(&a, &b) - dist(&b, &a)).abs() < 1e-15);
+        assert_eq!(dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn mean_averages_rows() {
+        let a = [0.0, 2.0];
+        let b = [4.0, 6.0];
+        let m = mean(&[&a, &b]).unwrap();
+        assert_eq!(m, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn mean_of_no_points_is_none() {
+        assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    fn argmax_prefers_first_of_ties_and_skips_nan() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN, 1.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN]), None);
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn argmin_mirrors_argmax() {
+        assert_eq!(argmin(&[5.0, -1.0, 0.0]), Some(1));
+    }
+
+    #[test]
+    fn all_finite_flags_nan_and_inf() {
+        assert!(all_finite(&[0.0, -1.5]));
+        assert!(!all_finite(&[0.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the linear-algebra substrate.
+//!
+//! Random SPD matrices are built as `A = B B' + eps·I` so every generated
+//! case is a legal input for Cholesky; the properties then check algebraic
+//! identities rather than specific values.
+
+use osr_linalg::{vector, Cholesky, Matrix, SymEigen};
+use proptest::prelude::*;
+
+const DIM_RANGE: std::ops::Range<usize> = 1..6;
+
+fn finite_entry() -> impl Strategy<Value = f64> {
+    // Keep magnitudes moderate so conditioning stays sane.
+    -3.0..3.0f64
+}
+
+prop_compose! {
+    fn spd_matrix()(n in DIM_RANGE)(
+        n in Just(n),
+        entries in prop::collection::vec(finite_entry(), n * n),
+    ) -> Matrix {
+        let b = Matrix::from_vec(n, n, entries);
+        let mut a = b.matmul(&b.transpose());
+        for i in 0..n {
+            a[(i, i)] += 0.5 + n as f64 * 0.1;
+        }
+        a
+    }
+}
+
+prop_compose! {
+    fn spd_with_vector()(a in spd_matrix())(
+        a in Just(a.clone()),
+        x in prop::collection::vec(finite_entry(), a.rows()),
+    ) -> (Matrix, Vec<f64>) {
+        (a, x)
+    }
+}
+
+proptest! {
+    #[test]
+    fn cholesky_reconstructs(a in spd_matrix()) {
+        let ch = Cholesky::factor(&a).unwrap();
+        let rel = (&ch.reconstruct() - &a).frobenius_norm() / a.frobenius_norm().max(1.0);
+        prop_assert!(rel < 1e-10, "relative reconstruction error {rel}");
+    }
+
+    #[test]
+    fn cholesky_solve_is_inverse_of_matvec((a, x) in spd_with_vector()) {
+        let ch = Cholesky::factor(&a).unwrap();
+        let b = a.matvec(&x);
+        let got = ch.solve(&b);
+        for (g, e) in got.iter().zip(&x) {
+            prop_assert!((g - e).abs() < 1e-6, "solve drift: {g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn rank1_update_matches_refactorization((a, x) in spd_with_vector()) {
+        let mut ch = Cholesky::factor(&a).unwrap();
+        ch.update(&x);
+        let mut ax = a.clone();
+        ax.syr(1.0, &x);
+        let direct = Cholesky::factor(&ax).unwrap();
+        let diff = (&ch.reconstruct() - &direct.reconstruct()).frobenius_norm();
+        prop_assert!(diff < 1e-8 * ax.frobenius_norm().max(1.0), "update drift {diff}");
+    }
+
+    #[test]
+    fn update_then_downdate_roundtrips((a, x) in spd_with_vector()) {
+        let mut ch = Cholesky::factor(&a).unwrap();
+        ch.update(&x);
+        ch.downdate(&x).unwrap();
+        let diff = (&ch.reconstruct() - &a).frobenius_norm();
+        prop_assert!(diff < 1e-7 * a.frobenius_norm().max(1.0), "roundtrip drift {diff}");
+    }
+
+    #[test]
+    fn log_det_is_additive_under_scaling(a in spd_matrix()) {
+        let n = a.rows() as f64;
+        let ch = Cholesky::factor(&a).unwrap();
+        let scaled = &a * 2.0;
+        let ch2 = Cholesky::factor(&scaled).unwrap();
+        // det(2A) = 2^n det(A)
+        prop_assert!((ch2.log_det() - (ch.log_det() + n * 2.0f64.ln())).abs() < 1e-8);
+    }
+
+    #[test]
+    fn inv_quad_form_is_nonnegative((a, x) in spd_with_vector()) {
+        let ch = Cholesky::factor(&a).unwrap();
+        prop_assert!(ch.inv_quad_form(&x) >= 0.0);
+    }
+
+    #[test]
+    fn eigenvalues_of_spd_are_positive_and_sum_to_trace(a in spd_matrix()) {
+        let e = SymEigen::decompose(&a).unwrap();
+        for &v in &e.values {
+            prop_assert!(v > 0.0, "SPD matrix produced eigenvalue {v}");
+        }
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((sum - a.trace()).abs() < 1e-8 * a.trace().abs().max(1.0));
+    }
+
+    #[test]
+    fn eigenvectors_diagonalize(a in spd_matrix()) {
+        let e = SymEigen::decompose(&a).unwrap();
+        let lam = Matrix::from_diag(&e.values);
+        let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        let rel = (&rec - &a).frobenius_norm() / a.frobenius_norm().max(1.0);
+        prop_assert!(rel < 1e-8, "eigen reconstruction error {rel}");
+    }
+
+    #[test]
+    fn dot_is_bilinear(
+        x in prop::collection::vec(finite_entry(), 1..8),
+        alpha in finite_entry(),
+    ) {
+        let y: Vec<f64> = x.iter().map(|v| v * alpha).collect();
+        let lhs = vector::dot(&x, &y);
+        let rhs = alpha * vector::dot(&x, &x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn triangle_inequality_for_dist(
+        n in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        // Deterministic pseudo-random points from the seed.
+        let f = |k: u64| ((seed.wrapping_mul(6364136223846793005).wrapping_add(k) >> 33) as f64
+            / (1u64 << 31) as f64) - 1.0;
+        let a: Vec<f64> = (0..n as u64).map(f).collect();
+        let b: Vec<f64> = (n as u64..2 * n as u64).map(f).collect();
+        let c: Vec<f64> = (2 * n as u64..3 * n as u64).map(f).collect();
+        prop_assert!(vector::dist(&a, &c) <= vector::dist(&a, &b) + vector::dist(&b, &c) + 1e-12);
+    }
+}

@@ -1,0 +1,75 @@
+//! Statistical substrate for the `hdp-osr` workspace.
+//!
+//! Everything the HDP sampler, the SVM baselines and the evaluation harness
+//! need that is "statistics rather than linear algebra" lives here:
+//!
+//! * [`special`] — log-gamma, digamma, multivariate log-gamma, log-sum-exp,
+//! * [`sampling`] — RNG-driven draws from normal / gamma / beta / Dirichlet /
+//!   categorical distributions (all hand-rolled on top of `rand`'s uniform
+//!   source, since the workspace deliberately avoids `rand_distr`),
+//! * [`mvn`] — multivariate normal and multivariate Student-t log-densities
+//!   plus Cholesky-based MVN sampling,
+//! * [`niw`] — the Normal–Inverse-Wishart conjugate family with O(d²)
+//!   incremental posterior updates; this is the engine room of the collapsed
+//!   Gibbs sampler (the paper's Gaussian–Wishart base measure H, Eq. 9, in
+//!   its equivalent (μ, Σ) parameterization),
+//! * [`weibull`] — Weibull distribution and maximum-likelihood tail fitting,
+//!   i.e. the statistical extreme-value-theory machinery behind the W-SVM,
+//!   W-OSVM and P_I-SVM baselines,
+//! * [`descriptive`] — means, standard deviations and quantiles for the
+//!   experiment reports.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod descriptive;
+pub mod mvn;
+pub mod niw;
+pub mod sampling;
+pub mod special;
+pub mod weibull;
+
+pub use niw::{NiwParams, NiwPosterior};
+pub use weibull::{Weibull, WeibullFit};
+
+/// Errors produced by the statistical routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A distribution parameter was out of its domain (message explains).
+    InvalidParameter(String),
+    /// Not enough data points for the requested fit.
+    NotEnoughData {
+        /// Points required.
+        needed: usize,
+        /// Points supplied.
+        got: usize,
+    },
+    /// An iterative fit failed to converge.
+    NoConvergence(String),
+    /// Propagated linear-algebra failure (e.g. singular scale matrix).
+    Linalg(osr_linalg::LinalgError),
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Self::NotEnoughData { needed, got } => {
+                write!(f, "not enough data: needed {needed}, got {got}")
+            }
+            Self::NoConvergence(msg) => write!(f, "no convergence: {msg}"),
+            Self::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+impl From<osr_linalg::LinalgError> for StatsError {
+    fn from(e: osr_linalg::LinalgError) -> Self {
+        Self::Linalg(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,151 @@
+//! One-vs-rest multiclass wrapper.
+//!
+//! W-SVM and P_I-SVM both "adopt the one-vs-rest approach" (§4.1.2): one
+//! binary C-SVC per class with that class positive and everything else
+//! negative. This wrapper trains the family and exposes the vector of raw
+//! decision values, which the baselines feed into their EVT calibrators.
+
+use serde::{Deserialize, Serialize};
+
+use crate::smo::{BinarySvm, SvmParams};
+use crate::{Result, SvmError};
+
+/// One-vs-rest ensemble of binary C-SVCs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OneVsRest {
+    machines: Vec<BinarySvm>,
+}
+
+impl OneVsRest {
+    /// Train one machine per class label in `0..n_classes`.
+    ///
+    /// # Errors
+    /// Fails when any class is empty (its one-vs-rest problem would be
+    /// single-class) or training data is malformed.
+    pub fn train(
+        points: &[&[f64]],
+        labels: &[usize],
+        n_classes: usize,
+        params: &SvmParams,
+    ) -> Result<Self> {
+        if points.len() != labels.len() {
+            return Err(SvmError::InvalidParameter(format!(
+                "{} labels for {} points",
+                labels.len(),
+                points.len()
+            )));
+        }
+        if n_classes < 2 {
+            return Err(SvmError::DegenerateTrainingSet(format!(
+                "one-vs-rest needs ≥ 2 classes, got {n_classes}"
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= n_classes) {
+            return Err(SvmError::InvalidParameter(format!(
+                "label {bad} out of range for {n_classes} classes"
+            )));
+        }
+        let machines = (0..n_classes)
+            .map(|class| {
+                let positive: Vec<bool> = labels.iter().map(|&l| l == class).collect();
+                BinarySvm::train(points, &positive, params)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { machines })
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Raw decision value of the machine for `class`.
+    pub fn decision_value(&self, class: usize, x: &[f64]) -> f64 {
+        self.machines[class].decision_value(x)
+    }
+
+    /// All per-class decision values.
+    pub fn decision_values(&self, x: &[f64]) -> Vec<f64> {
+        self.machines.iter().map(|m| m.decision_value(x)).collect()
+    }
+
+    /// Closed-set prediction: class with the largest decision value.
+    pub fn predict_closed(&self, x: &[f64]) -> usize {
+        osr_linalg::vector::argmax(&self.decision_values(x)).expect("≥2 classes by construction")
+    }
+
+    /// Borrow the underlying binary machine for `class`.
+    pub fn machine(&self, class: usize) -> &BinarySvm {
+        &self.machines[class]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Kernel;
+    use osr_stats::sampling;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn three_blobs(rng: &mut StdRng, n_per: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [[0.0, 6.0], [-5.0, -3.0], [5.0, -3.0]];
+        let mut pts = Vec::new();
+        let mut labels = Vec::new();
+        for (c, center) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                pts.push(vec![
+                    center[0] + 0.8 * sampling::standard_normal(rng),
+                    center[1] + 0.8 * sampling::standard_normal(rng),
+                ]);
+                labels.push(c);
+            }
+        }
+        (pts, labels)
+    }
+
+    #[test]
+    fn classifies_three_blobs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (pts, labels) = three_blobs(&mut rng, 60);
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        let params = SvmParams::new(1.0, Kernel::Rbf { gamma: 0.5 });
+        let ovr = OneVsRest::train(&refs, &labels, 3, &params).unwrap();
+        assert_eq!(ovr.n_classes(), 3);
+        let correct = refs.iter().zip(&labels).filter(|(p, &l)| ovr.predict_closed(p) == l).count();
+        assert!(correct as f64 / 180.0 > 0.98, "accuracy {correct}/180");
+    }
+
+    #[test]
+    fn own_class_machine_scores_highest_at_center() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (pts, labels) = three_blobs(&mut rng, 50);
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        let params = SvmParams::new(1.0, Kernel::Rbf { gamma: 0.5 });
+        let ovr = OneVsRest::train(&refs, &labels, 3, &params).unwrap();
+        let dv = ovr.decision_values(&[0.0, 6.0]);
+        assert_eq!(osr_linalg::vector::argmax(&dv), Some(0));
+        assert!(dv[0] > 0.0, "own machine should be positive at its center");
+        assert!(dv[1] < 0.0 && dv[2] < 0.0, "other machines negative: {dv:?}");
+    }
+
+    #[test]
+    fn rejects_missing_class() {
+        let pts = [vec![0.0], vec![1.0]];
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        // Class 2 exists nominally but has no samples.
+        let err = OneVsRest::train(&refs, &[0, 1], 3, &SvmParams::new(1.0, Kernel::Linear))
+            .unwrap_err();
+        assert!(matches!(err, SvmError::DegenerateTrainingSet(_)));
+    }
+
+    #[test]
+    fn rejects_out_of_range_labels_and_mismatch() {
+        let pts = [vec![0.0], vec![1.0]];
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        let params = SvmParams::new(1.0, Kernel::Linear);
+        assert!(OneVsRest::train(&refs, &[0, 5], 2, &params).is_err());
+        assert!(OneVsRest::train(&refs, &[0], 2, &params).is_err());
+        assert!(OneVsRest::train(&refs, &[0, 1], 1, &params).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the SMO solvers: KKT-style optimality
+//! conditions, geometric invariances, and decision-function structure on
+//! randomly generated separable problems.
+
+use osr_svm::{BinarySvm, Kernel, OneClassParams, OneClassSvm, SvmParams};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random blob pair: two Gaussian-ish clusters with a
+/// controlled gap, derived from a seed (no RNG dependency in this test).
+fn blob_pair(seed: u64, n_per: usize, gap: f64, dim: usize) -> (Vec<Vec<f64>>, Vec<bool>) {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let mut pts = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..2 * n_per {
+        let pos = i % 2 == 0;
+        let mut p: Vec<f64> = (0..dim).map(|_| next() * 1.6).collect();
+        p[0] += if pos { gap / 2.0 } else { -gap / 2.0 };
+        pts.push(p);
+        labels.push(pos);
+    }
+    (pts, labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn separable_problems_are_solved_exactly(
+        seed in 0u64..500,
+        n_per in 5usize..40,
+        dim in 2usize..6,
+    ) {
+        let (pts, labels) = blob_pair(seed, n_per, 6.0, dim);
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        let svm = BinarySvm::train(&refs, &labels, &SvmParams::new(10.0, Kernel::Linear)).unwrap();
+        for (p, &l) in refs.iter().zip(&labels) {
+            prop_assert_eq!(svm.predict(p), l, "misclassified training point");
+        }
+    }
+
+    #[test]
+    fn margins_respect_kkt_bounds(
+        seed in 0u64..500,
+        n_per in 8usize..30,
+    ) {
+        let (pts, labels) = blob_pair(seed, n_per, 5.0, 3);
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        let svm = BinarySvm::train(&refs, &labels, &SvmParams::new(1.0, Kernel::Linear)).unwrap();
+        // On separable data with moderate C the functional margin of every
+        // training point is ≥ 1 − tolerance slack.
+        for (p, &l) in refs.iter().zip(&labels) {
+            let y = if l { 1.0 } else { -1.0 };
+            prop_assert!(y * svm.decision_value(p) > 0.9, "margin violated");
+        }
+        // Support vectors exist but don't cover everything on a separable
+        // problem with a wide gap.
+        prop_assert!(svm.n_support() >= 2);
+        prop_assert!(svm.n_support() < 2 * n_per, "every point became a support vector");
+    }
+
+    #[test]
+    fn decision_function_is_translation_invariant_for_rbf(
+        seed in 0u64..200,
+        shift in -5.0..5.0f64,
+    ) {
+        let (pts, labels) = blob_pair(seed, 12, 4.0, 2);
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        let params = SvmParams::new(2.0, Kernel::Rbf { gamma: 0.4 });
+        let svm = BinarySvm::train(&refs, &labels, &params).unwrap();
+
+        let shifted: Vec<Vec<f64>> =
+            pts.iter().map(|p| p.iter().map(|x| x + shift).collect()).collect();
+        let srefs: Vec<&[f64]> = shifted.iter().map(Vec::as_slice).collect();
+        let svm2 = BinarySvm::train(&srefs, &labels, &params).unwrap();
+
+        // RBF kernels only see pairwise distances, so the decision value at
+        // corresponding points must match up to the SMO stopping tolerance
+        // (1e-3 on the KKT violation).
+        for (p, q) in refs.iter().zip(&srefs).take(10) {
+            let a = svm.decision_value(p);
+            let b = svm2.decision_value(q);
+            prop_assert!((a - b).abs() < 5e-3, "translation changed decision: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn label_flip_negates_linear_decision(
+        seed in 0u64..200,
+    ) {
+        let (pts, labels) = blob_pair(seed, 15, 5.0, 3);
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        let params = SvmParams::new(1.0, Kernel::Linear);
+        let svm = BinarySvm::train(&refs, &labels, &params).unwrap();
+        let flipped: Vec<bool> = labels.iter().map(|l| !l).collect();
+        let svm2 = BinarySvm::train(&refs, &flipped, &params).unwrap();
+        for p in refs.iter().take(10) {
+            let a = svm.decision_value(p);
+            let b = svm2.decision_value(p);
+            prop_assert!((a + b).abs() < 1e-6, "flip should negate: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn one_class_respects_nu_bound(
+        seed in 0u64..200,
+        nu in 0.05f64..0.5,
+    ) {
+        let (pts, _) = blob_pair(seed, 60, 0.0, 3);
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        let oc = OneClassSvm::train(&refs, &OneClassParams::new(nu, Kernel::Rbf { gamma: 0.5 }))
+            .unwrap();
+        let rejected = refs.iter().filter(|p| !oc.contains(p)).count();
+        // ν upper-bounds the fraction of training outliers (+ slack for the
+        // finite-sample effect).
+        prop_assert!(
+            (rejected as f64) <= nu * refs.len() as f64 + 6.0,
+            "nu = {nu} but rejected {rejected} of {}",
+            refs.len()
+        );
+    }
+
+    #[test]
+    fn one_class_decision_decays_outward(
+        seed in 0u64..200,
+    ) {
+        let (pts, _) = blob_pair(seed, 60, 0.0, 2);
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        let oc = OneClassSvm::train(&refs, &OneClassParams::new(0.1, Kernel::Rbf { gamma: 0.5 }))
+            .unwrap();
+        let center = oc.decision_value(&[0.0, 0.0]);
+        let far = oc.decision_value(&[30.0, -20.0]);
+        prop_assert!(center > far, "decision should decay outward: {center} vs {far}");
+    }
+}

@@ -1,0 +1,48 @@
+//! # hdp-osr — Collective decision for open set recognition
+//!
+//! A complete Rust reproduction of *Hierarchical Dirichlet Process-based Open
+//! Set Recognition* (Geng & Chen) — the work whose journal version,
+//! *Collective Decision for Open Set Recognition*, appeared as an ICDE 2023
+//! extended abstract. The facade re-exports the full workspace:
+//!
+//! * [`linalg`] — dense matrices, Cholesky, eigen/PCA substrate,
+//! * [`stats`] — special functions, samplers, the Normal–Inverse-Wishart
+//!   conjugate family, and EVT (Weibull) calibration,
+//! * [`dataset`] — synthetic LETTER/USPS/PENDIGITS replicas plus the paper's
+//!   open-set experimental protocol,
+//! * [`svm`] — SMO-based C-SVC and one-class ν-SVM,
+//! * [`hdp`] — the collapsed Chinese-Restaurant-Franchise Gibbs sampler,
+//! * [`baselines`] — 1-vs-Set, W-OSVM, W-SVM, P_I-SVM and OSNN,
+//! * [`core`] — the HDP-OSR classifier itself (collective decision +
+//!   new-class discovery),
+//! * [`eval`] — metrics, grid search and the randomized trial runner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hdp_osr::core::{HdpOsr, HdpOsrConfig, Prediction};
+//! use hdp_osr::dataset::synthetic::pendigits_config;
+//! use hdp_osr::dataset::protocol::{OpenSetSplit, SplitConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! // A downscaled PENDIGITS replica keeps the doctest fast; drop `.scaled`
+//! // (and raise `iterations` to the paper's 30) for the real experiments.
+//! let data = pendigits_config().scaled(0.03).generate(&mut rng);
+//! let split = OpenSetSplit::sample(&data, &SplitConfig::new(5, 2), &mut rng).unwrap();
+//!
+//! let config = HdpOsrConfig { iterations: 5, ..Default::default() };
+//! let model = HdpOsr::fit(&config, &split.train).unwrap();
+//! let predictions = model.classify(&split.test.points, &mut rng).unwrap();
+//! assert_eq!(predictions.len(), split.test.points.len());
+//! let _rejected = predictions.iter().filter(|p| **p == Prediction::Unknown).count();
+//! ```
+
+pub use hdp_osr_core as core;
+pub use osr_baselines as baselines;
+pub use osr_dataset as dataset;
+pub use osr_eval as eval;
+pub use osr_hdp as hdp;
+pub use osr_linalg as linalg;
+pub use osr_stats as stats;
+pub use osr_svm as svm;

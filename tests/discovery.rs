@@ -1,0 +1,109 @@
+//! Integration tests of new-class discovery (paper §4.3) across the whole
+//! stack: dataset → protocol → HDP-OSR → subclass report → Δ estimate.
+
+use hdp_osr::core::{HdpOsr, HdpOsrConfig};
+use hdp_osr::dataset::protocol::{OpenSetSplit, SplitConfig};
+use hdp_osr::dataset::synthetic::pendigits_config;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn config() -> HdpOsrConfig {
+    HdpOsrConfig { iterations: 10, ..Default::default() }
+}
+
+#[test]
+fn discovery_report_structure_is_consistent() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = pendigits_config().scaled(0.08).generate(&mut rng);
+    let split = OpenSetSplit::sample(&data, &SplitConfig::new(5, 5), &mut rng).unwrap();
+    let model = HdpOsr::fit(&config(), &split.train).unwrap();
+    let out = model.classify_detailed(&split.test.points, &mut rng).unwrap();
+
+    // One report row per known class, in order.
+    assert_eq!(out.report.known.len(), 5);
+    for (i, g) in out.report.known.iter().enumerate() {
+        assert_eq!(g.name, format!("Class{}", i + 1));
+        assert!(g.n_subclasses() >= 1, "{} has no surviving subclasses", g.name);
+        // Proportions within a group are in (0, 1] and sorted descending.
+        let mut last = f64::INFINITY;
+        for &(_, count, prop) in &g.subclasses {
+            assert!(count > 0);
+            assert!(prop > 0.0 && prop <= 1.0);
+            assert!(prop <= last + 1e-12);
+            last = prop;
+        }
+    }
+
+    // The test group's proportions cover (almost) everything.
+    let total = out.report.test_known_proportion + out.report.test_new_proportion;
+    assert!((total - 1.0).abs() < 1e-9, "test proportions sum to {total}");
+
+    // Dish assignments are reported for every test point.
+    assert_eq!(out.test_dishes.len(), split.test.len());
+    assert_eq!(out.predictions.len(), split.test.len());
+}
+
+#[test]
+fn delta_estimate_is_in_a_plausible_band() {
+    // 5 unknown classes in the test set; Eq. 11 is a rough estimate — the
+    // paper itself reports Δ = 4 against a truth of 5. Accept 2..=9.
+    let mut rng = StdRng::seed_from_u64(2);
+    let data = pendigits_config().scaled(0.12).generate(&mut rng);
+    let split = OpenSetSplit::sample(&data, &SplitConfig::new(5, 5), &mut rng).unwrap();
+    let model = HdpOsr::fit(&config(), &split.train).unwrap();
+    let out = model.classify_detailed(&split.test.points, &mut rng).unwrap();
+
+    assert!(out.report.n_new_subclasses() > 0, "no new subclasses discovered");
+    assert!(
+        (2..=9).contains(&out.report.delta_estimate),
+        "Δ = {} with truth 5 (|S_unknown| = {}, |S_known| = {})",
+        out.report.delta_estimate,
+        out.report.n_new_subclasses(),
+        out.report.n_known_subclasses()
+    );
+}
+
+#[test]
+fn closed_test_set_discovers_nothing_substantial() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let data = pendigits_config().scaled(0.08).generate(&mut rng);
+    let split = OpenSetSplit::sample(&data, &SplitConfig::new(5, 0), &mut rng).unwrap();
+    let model = HdpOsr::fit(&config(), &split.train).unwrap();
+    let out = model.classify_detailed(&split.test.points, &mut rng).unwrap();
+    assert!(
+        out.report.test_new_proportion < 0.12,
+        "closed test set put {:.1}% of its mass on new subclasses",
+        out.report.test_new_proportion * 100.0
+    );
+}
+
+#[test]
+fn more_unknown_classes_mean_more_new_subclass_mass() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let data = pendigits_config().scaled(0.08).generate(&mut rng);
+    let mass = |n_unknown: usize, rng: &mut StdRng| {
+        let split = OpenSetSplit::sample(&data, &SplitConfig::new(4, n_unknown), rng).unwrap();
+        let model = HdpOsr::fit(&config(), &split.train).unwrap();
+        let out = model.classify_detailed(&split.test.points, rng).unwrap();
+        out.report.test_new_proportion
+    };
+    let low = mass(1, &mut rng);
+    let high = mass(5, &mut rng);
+    assert!(
+        high > low,
+        "new-subclass mass should grow with openness: 1 unknown → {low:.3}, 5 → {high:.3}"
+    );
+}
+
+#[test]
+fn report_renders_as_a_table() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let data = pendigits_config().scaled(0.06).generate(&mut rng);
+    let split = OpenSetSplit::sample(&data, &SplitConfig::new(5, 2), &mut rng).unwrap();
+    let model = HdpOsr::fit(&config(), &split.train).unwrap();
+    let out = model.classify_detailed(&split.test.points, &mut rng).unwrap();
+    let table = out.report.to_table();
+    assert!(table.contains("Class1"));
+    assert!(table.contains("Testing-Set"));
+    assert!(table.contains("Δ ="));
+}

@@ -1,0 +1,103 @@
+//! End-to-end integration: the full pipeline (synthetic dataset → protocol
+//! split → train every method → predict → score) across crates, exactly as
+//! the reproduction binaries drive it, on a small scale so it runs in debug.
+
+use hdp_osr::dataset::protocol::{OpenSetSplit, SplitConfig};
+use hdp_osr::dataset::synthetic::pendigits_config;
+use hdp_osr::eval::methods::MethodSpec;
+use hdp_osr::eval::metrics::OpenSetConfusion;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_problem(seed: u64, n_unknown: usize) -> (OpenSetSplit, osr_dataset::Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = pendigits_config().scaled(0.06).generate(&mut rng);
+    let split = OpenSetSplit::sample(&data, &SplitConfig::new(4, n_unknown), &mut rng).unwrap();
+    (split, data)
+}
+
+fn fast_lineup() -> Vec<MethodSpec> {
+    MethodSpec::paper_lineup()
+        .into_iter()
+        .map(|spec| match spec {
+            MethodSpec::HdpOsr(mut cfg) => {
+                cfg.iterations = 8;
+                MethodSpec::HdpOsr(cfg)
+            }
+            other => other,
+        })
+        .collect()
+}
+
+#[test]
+fn every_method_beats_chance_on_a_closed_problem() {
+    let (split, _) = small_problem(1, 0);
+    for spec in fast_lineup() {
+        let preds = spec.run_trial(&split.train, &split.test.points, 7, 0).unwrap();
+        let c = OpenSetConfusion::from_slices(&preds, &split.test.truth);
+        // 4 balanced known classes ⇒ chance accuracy is 0.25.
+        assert!(
+            c.accuracy() > 0.5,
+            "{} scored accuracy {:.3} on a closed problem",
+            spec.name(),
+            c.accuracy()
+        );
+    }
+}
+
+#[test]
+fn every_method_produces_one_prediction_per_test_point() {
+    let (split, _) = small_problem(2, 3);
+    for spec in fast_lineup() {
+        let preds = spec.run_trial(&split.train, &split.test.points, 3, 1).unwrap();
+        assert_eq!(preds.len(), split.test.len(), "{} count mismatch", spec.name());
+    }
+}
+
+#[test]
+fn hdp_osr_rejects_more_unknowns_than_a_closed_set_classifier() {
+    let (split, _) = small_problem(3, 4);
+    let lineup = fast_lineup();
+    let hdp = lineup.iter().find(|s| s.name() == "HDP-OSR").unwrap();
+    let preds = hdp.run_trial(&split.train, &split.test.points, 11, 0).unwrap();
+    let c = OpenSetConfusion::from_slices(&preds, &split.test.truth);
+    let n_unknown = split.test.n_unknown();
+    assert!(n_unknown > 0);
+    // HDP-OSR should reject a clear majority of unknown-class samples.
+    assert!(
+        c.tn_rejected * 2 > n_unknown,
+        "only {} of {} unknowns rejected",
+        c.tn_rejected,
+        n_unknown
+    );
+}
+
+#[test]
+fn open_problem_is_harder_than_closed_for_every_threshold_baseline() {
+    // Openness must not help: F at openness 0 ≥ F at high openness − slack.
+    let (closed, _) = small_problem(4, 0);
+    let (open, _) = small_problem(4, 5);
+    for spec in fast_lineup() {
+        let f = |split: &OpenSetSplit| {
+            let preds = spec.run_trial(&split.train, &split.test.points, 5, 0).unwrap();
+            OpenSetConfusion::from_slices(&preds, &split.test.truth).f_measure()
+        };
+        let f_closed = f(&closed);
+        let f_open = f(&open);
+        assert!(
+            f_closed >= f_open - 0.12,
+            "{}: closed {f_closed:.3} vs open {f_open:.3}",
+            spec.name()
+        );
+    }
+}
+
+#[test]
+fn whole_pipeline_is_deterministic_per_seed() {
+    let (split, _) = small_problem(5, 2);
+    for spec in fast_lineup() {
+        let a = spec.run_trial(&split.train, &split.test.points, 99, 4).unwrap();
+        let b = spec.run_trial(&split.train, &split.test.points, 99, 4).unwrap();
+        assert_eq!(a, b, "{} is not deterministic", spec.name());
+    }
+}

@@ -1,0 +1,99 @@
+//! Cross-crate compliance with the paper's experimental protocol (§4.1.1):
+//! the numbers produced by the split machinery must match the verbatim
+//! protocol steps wherever they can be checked arithmetically.
+
+use hdp_osr::dataset::protocol::{
+    openness, GroundTruth, OpenSetSplit, SplitConfig, ValidationSplit,
+};
+use hdp_osr::dataset::synthetic::{letter_config, pendigits_config};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn letter_sweep_matches_paper_openness_axis() {
+    // Fig. 4: 10 known classes, up to 16 unknown ⇒ openness tops out at
+    // 1 − sqrt(20/36) ≈ 25.5 %.
+    let cfg = SplitConfig::new(10, 16);
+    assert!((cfg.openness() - 0.2546).abs() < 1e-3, "got {:.4}", cfg.openness());
+    // Closed set.
+    assert_eq!(SplitConfig::new(10, 0).openness(), 0.0);
+}
+
+#[test]
+fn usps_pendigits_sweep_matches_paper_openness_axis() {
+    // Figs. 5/6: 5 known, up to 5 unknown ⇒ openness tops out at
+    // 1 − sqrt(10/15) ≈ 18.35 %.
+    let cfg = SplitConfig::new(5, 5);
+    assert!((cfg.openness() - 0.1835).abs() < 1e-3, "got {:.4}", cfg.openness());
+    // The "about 12 %" crossover the paper mentions sits at 3 unknowns.
+    let mid = SplitConfig::new(5, 3);
+    assert!((mid.openness() - 0.1228).abs() < 1e-3, "got {:.4}", mid.openness());
+}
+
+#[test]
+fn step_2_and_3_produce_60_40_splits_plus_all_unknowns() {
+    let mut rng = StdRng::seed_from_u64(0);
+    let data = pendigits_config().scaled(0.1).generate(&mut rng);
+    let split = OpenSetSplit::sample(&data, &SplitConfig::new(5, 2), &mut rng).unwrap();
+
+    for (i, &cid) in split.train.class_ids.iter().enumerate() {
+        let total = data.class_indices(cid).len();
+        let in_train = split.train.classes[i].len();
+        assert_eq!(in_train, (total as f64 * 0.6).round() as usize, "class {cid}");
+    }
+    let unknown_total: usize =
+        split.unknown_class_ids.iter().map(|&c| data.class_indices(c).len()).sum();
+    assert_eq!(split.test.n_unknown(), unknown_total, "step 3: all unknown samples in test");
+}
+
+#[test]
+fn step_4_selects_floor_n_half_plus_half_classes() {
+    // ⌊N/2 + 0.5⌋ for N = 5 is 3; for N = 10 it is 5; for N = 4 it is 2.
+    let mut rng = StdRng::seed_from_u64(1);
+    let data = letter_config().scaled(0.05).generate(&mut rng);
+    for (n, expect) in [(5usize, 3usize), (10, 5), (4, 2), (3, 2)] {
+        let split = OpenSetSplit::sample(&data, &SplitConfig::new(n, 0), &mut rng).unwrap();
+        let val = ValidationSplit::sample(&split.train, &mut rng).unwrap();
+        assert_eq!(val.fitting.n_classes(), expect, "N = {n}");
+    }
+}
+
+#[test]
+fn open_simulation_extends_closed_simulation() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let data = pendigits_config().scaled(0.1).generate(&mut rng);
+    let split = OpenSetSplit::sample(&data, &SplitConfig::new(5, 0), &mut rng).unwrap();
+    let val = ValidationSplit::sample(&split.train, &mut rng).unwrap();
+
+    // The open simulation is the closed simulation plus sim-unknowns.
+    assert!(val.open.len() > val.closed.len());
+    assert_eq!(val.closed.n_unknown(), 0);
+    assert_eq!(val.open.len() - val.closed.len(), val.open.n_unknown());
+    // Closed points appear verbatim at the front of the open simulation.
+    for (c, o) in val.closed.points.iter().zip(&val.open.points) {
+        assert_eq!(c, o);
+    }
+}
+
+#[test]
+fn ground_truth_indices_are_dense_over_training_classes() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let data = pendigits_config().scaled(0.1).generate(&mut rng);
+    let split = OpenSetSplit::sample(&data, &SplitConfig::new(5, 1), &mut rng).unwrap();
+    let mut seen = [false; 5];
+    for t in &split.test.truth {
+        if let GroundTruth::Known(c) = t {
+            assert!(*c < 5, "class index out of range: {c}");
+            seen[*c] = true;
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "every known class must appear in the test set");
+}
+
+#[test]
+fn openness_formula_is_scheirers() {
+    // Spot values computed by hand from the formula in §2.
+    assert!((openness(10, 10, 26) - (1.0 - (20.0f64 / 36.0).sqrt())).abs() < 1e-12);
+    assert!((openness(5, 5, 10) - (1.0 - (10.0f64 / 15.0).sqrt())).abs() < 1e-12);
+    assert_eq!(openness(7, 7, 7), 0.0);
+}
