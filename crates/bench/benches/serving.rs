@@ -1,0 +1,138 @@
+//! Cold vs warm serving on the LETTER replica — the tentpole measurement.
+//!
+//! Reproduces the fit-once/serve-many claim: classifying a 100-point batch
+//! against 10 known LETTER classes costs a full transductive burn-in under
+//! `ServingMode::ColdStart` but only `decision_sweeps` batch-local sweeps
+//! under the default `ServingMode::WarmStart`. Wall-clock medians, the
+//! machine-independent predictive-logpdf call counts, and the resulting
+//! speedup are written to `BENCH_serving.json` at the repository root.
+//!
+//! ```text
+//! cargo bench -p osr-bench --bench serving
+//! ```
+
+use std::time::Instant;
+
+use criterion::{measure, Summary};
+use hdp_osr_core::{HdpOsr, HdpOsrConfig, ServingMode};
+use osr_dataset::protocol::{OpenSetSplit, SplitConfig};
+use osr_dataset::synthetic::letter_config;
+use osr_stats::counters::predictive_logpdf_calls;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+const BATCH: usize = 100;
+const SEED: u64 = 42;
+
+#[derive(Serialize)]
+struct ModeStats {
+    fit_ms: f64,
+    classify_median_ms: f64,
+    classify_min_ms: f64,
+    classify_mean_ms: f64,
+    samples: usize,
+    predictive_calls_per_batch: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    dataset: String,
+    train_points: usize,
+    known_classes: usize,
+    batch_size: usize,
+    iterations: usize,
+    decision_sweeps: usize,
+    seed: u64,
+    cold: ModeStats,
+    warm: ModeStats,
+    speedup_median: f64,
+    predictive_call_ratio: f64,
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn run_mode(
+    serving: ServingMode,
+    train: &osr_dataset::protocol::TrainSet,
+    batch: &[Vec<f64>],
+    sample_size: usize,
+) -> (ModeStats, Summary) {
+    let config = HdpOsrConfig { serving, ..Default::default() };
+    let t0 = Instant::now();
+    let model = HdpOsr::fit(&config, train).expect("fit LETTER replica");
+    let fit_ms = ms(t0.elapsed());
+
+    // Machine-independent unit of work: predictive evaluations per batch.
+    let before = predictive_logpdf_calls();
+    model
+        .classify(batch, &mut StdRng::seed_from_u64(SEED))
+        .expect("classify LETTER batch");
+    let calls = predictive_logpdf_calls() - before;
+
+    let summary = measure(sample_size, |b| {
+        b.iter(|| {
+            model
+                .classify(batch, &mut StdRng::seed_from_u64(SEED))
+                .expect("classify LETTER batch")
+        })
+    });
+    let stats = ModeStats {
+        fit_ms,
+        classify_median_ms: ms(summary.median),
+        classify_min_ms: ms(summary.min),
+        classify_mean_ms: ms(summary.mean),
+        samples: summary.samples,
+        predictive_calls_per_batch: calls,
+    };
+    (stats, summary)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let data = letter_config().scaled(0.1).generate(&mut rng);
+    let split = OpenSetSplit::sample(&data, &SplitConfig::new(10, 5), &mut rng)
+        .expect("LETTER replica supports a 10+5 split");
+    let batch: Vec<Vec<f64>> = split.test.points.iter().take(BATCH).cloned().collect();
+    assert_eq!(batch.len(), BATCH, "test split holds at least one full batch");
+    let config = HdpOsrConfig::default();
+
+    eprintln!(
+        "serving bench: {} train points, {} known classes, batch {}, {} sweeps",
+        split.train.total_points(),
+        split.train.n_classes(),
+        BATCH,
+        config.iterations
+    );
+
+    let (cold, cold_sum) = run_mode(ServingMode::ColdStart, &split.train, &batch, 5);
+    eprintln!("cold : median {:>10.2?}/batch", cold_sum.median);
+    let (warm, warm_sum) = run_mode(ServingMode::WarmStart, &split.train, &batch, 30);
+    eprintln!("warm : median {:>10.2?}/batch", warm_sum.median);
+
+    let report = Report {
+        dataset: data.name.clone(),
+        train_points: split.train.total_points(),
+        known_classes: split.train.n_classes(),
+        batch_size: BATCH,
+        iterations: config.iterations,
+        decision_sweeps: config.decision_sweeps,
+        seed: SEED,
+        speedup_median: cold.classify_median_ms / warm.classify_median_ms,
+        predictive_call_ratio: cold.predictive_calls_per_batch as f64
+            / warm.predictive_calls_per_batch.max(1) as f64,
+        cold,
+        warm,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    println!("{json}");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_serving.json");
+    eprintln!(
+        "speedup: {:.1}x wall-clock, {:.1}x predictive calls -> {path}",
+        report.speedup_median, report.predictive_call_ratio
+    );
+}

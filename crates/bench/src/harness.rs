@@ -10,12 +10,14 @@
 //! --quick       smoke-test mode: scale 0.1, 3 trials, 10 sweeps, no tuning
 //! --no-tune     skip the validation grid search (use default parameters)
 //! --iters N     HDP-OSR Gibbs sweeps (default 30, the paper's setting)
+//! --cold        serve HDP-OSR cold (full per-batch burn-in) instead of the
+//!               default warm-start snapshot serving
 //! ```
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use hdp_osr_core::HdpOsrConfig;
+use hdp_osr_core::{HdpOsrConfig, ServingMode};
 use osr_dataset::synthetic::SyntheticConfig;
 use osr_dataset::Dataset;
 use osr_eval::experiment::{openness_sweep, MethodResult};
@@ -35,11 +37,13 @@ pub struct Options {
     pub tune: bool,
     /// HDP-OSR Gibbs sweeps.
     pub iterations: usize,
+    /// Serve HDP-OSR cold (per-batch burn-in) instead of warm-start.
+    pub cold: bool,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Self { trials: 10, seed: 42, scale: 0.3, tune: true, iterations: 30 }
+        Self { trials: 10, seed: 42, scale: 0.3, tune: true, iterations: 30, cold: false }
     }
 }
 
@@ -63,6 +67,7 @@ impl Options {
                 }
                 "--full" => opts.scale = 1.0,
                 "--no-tune" => opts.tune = false,
+                "--cold" => opts.cold = true,
                 "--quick" => {
                     opts.scale = 0.1;
                     opts.trials = 3;
@@ -90,8 +95,18 @@ impl Options {
         }
     }
 
+    /// The serving mode selected by `--cold` (warm-start by default).
+    pub fn serving_mode(&self) -> ServingMode {
+        if self.cold {
+            ServingMode::ColdStart
+        } else {
+            ServingMode::WarmStart
+        }
+    }
+
     /// Method families for the sweep: the coarse tuning grids, with
-    /// HDP-OSR's sweep count overridden by `--iters`.
+    /// HDP-OSR's sweep count overridden by `--iters` and its serving mode
+    /// by `--cold`.
     pub fn families(&self) -> Vec<Vec<MethodSpec>> {
         Grids::coarse()
             .candidates
@@ -102,6 +117,7 @@ impl Options {
                     .map(|spec| match spec {
                         MethodSpec::HdpOsr(cfg) => MethodSpec::HdpOsr(HdpOsrConfig {
                             iterations: self.iterations,
+                            serving: self.serving_mode(),
                             ..cfg
                         }),
                         other => other,
@@ -109,6 +125,38 @@ impl Options {
                     .collect()
             })
             .collect()
+    }
+}
+
+/// Wall-clock + predictive-call instrumentation for a serving region.
+///
+/// The predictive log-pdf is the sampler's unit of work (one evaluation per
+/// live dish per seating decision), so its count compares serving schedules
+/// machine-independently. The counter is process-global; this records
+/// before/after deltas around the region.
+pub struct ServingStats {
+    started: std::time::Instant,
+    calls_before: u64,
+}
+
+impl ServingStats {
+    /// Begin measuring: stamp the clock and the predictive-call counter.
+    pub fn start() -> Self {
+        Self {
+            started: std::time::Instant::now(),
+            calls_before: osr_stats::counters::predictive_logpdf_calls(),
+        }
+    }
+
+    /// Print `label: N batches in S s (B batches/sec), C predictive calls`.
+    pub fn report(&self, label: &str, n_batches: usize) {
+        let secs = self.started.elapsed().as_secs_f64();
+        let calls = osr_stats::counters::predictive_logpdf_calls() - self.calls_before;
+        let rate = n_batches as f64 / secs.max(1e-9);
+        eprintln!(
+            "[{label}] served {n_batches} batch(es) in {secs:.2}s \
+             ({rate:.2} batches/sec), {calls} predictive-logpdf calls"
+        );
     }
 }
 
@@ -133,12 +181,18 @@ pub fn run_discovery(table: &str, data: &Dataset, opts: &Options) {
     // The figure binaries find this via validation tuning; the discovery
     // tables run untuned, so apply the scaling directly.
     let rho = 4.0 * (data.dim() as f64 / 16.0).max(1.0);
-    let config =
-        HdpOsrConfig { iterations: opts.iterations, rho, ..Default::default() };
+    let config = HdpOsrConfig {
+        iterations: opts.iterations,
+        rho,
+        serving: opts.serving_mode(),
+        ..Default::default()
+    };
     let model = HdpOsr::fit(&config, &split.train).expect("fit on synthetic replica");
+    let stats = ServingStats::start();
     let out = model
         .classify_detailed(&split.test.points, &mut rng)
         .expect("classification on non-empty test set");
+    stats.report(table, 1);
 
     // Annotate each known group with its original class id, as the paper
     // does ("Class1 ('2')").
@@ -168,7 +222,7 @@ pub fn usps_dataset(opts: &Options) -> Dataset {
 
 fn usage_exit() -> ! {
     eprintln!(
-        "flags: --trials N  --seed N  --scale F  --full  --quick  --no-tune  --iters N"
+        "flags: --trials N  --seed N  --scale F  --full  --quick  --no-tune  --iters N  --cold"
     );
     std::process::exit(2)
 }
@@ -195,9 +249,10 @@ pub fn run_figure(
 ) {
     eprintln!(
         "[{figure}] {}: {n_known} known classes, unknown sweep {unknown_counts:?}, \
-         {} trials, seed {}, scale {}, tune={}",
-        data.name, opts.trials, opts.seed, opts.scale, opts.tune
+         {} trials, seed {}, scale {}, tune={}, serving={:?}",
+        data.name, opts.trials, opts.seed, opts.scale, opts.tune, opts.serving_mode()
     );
+    let stats = ServingStats::start();
     let rows = openness_sweep(
         data,
         n_known,
@@ -211,6 +266,9 @@ pub fn run_figure(
         eprintln!("[{figure}] failed: {e}");
         std::process::exit(1)
     });
+    // One classified batch per (method, openness, trial); the rate also
+    // absorbs tuning overhead when --no-tune is not set.
+    stats.report(figure, rows.len() * opts.trials);
 
     println!("{}", osr_eval::experiment::to_tsv(&rows));
     print_series(figure, &rows, metric);

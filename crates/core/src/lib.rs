@@ -23,6 +23,11 @@
 //!    [`Prediction::Unknown`] when it has none).
 //! 3. [`discovery`] — estimate the number of unknown categories from the
 //!    subclass counts (Eq. 11, reproduced in Tables 1–2).
+//!
+//! Serving is fit-once/serve-many by default ([`ServingMode::WarmStart`]):
+//! `fit` checkpoints the converged training posterior and every batch is
+//! answered from a warm clone, with [`BatchServer`] fanning independent
+//! batches out over worker threads deterministically.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -32,12 +37,15 @@ pub mod discovery;
 pub mod inductive;
 pub mod kmeans;
 mod model;
+mod serving;
 
 pub use decision::{ClassifyOutcome, Prediction};
 pub use discovery::SubclassReport;
 pub use inductive::FrozenModel;
 pub use kmeans::{kmeans, refine_unknown_classes, KMeansResult, RefinedUnknownClass};
 pub use model::{HdpOsr, HdpOsrConfig};
+pub use osr_hdp::PosteriorSnapshot;
+pub use serving::{derive_batch_seed, BatchServer, ServingMode};
 
 /// Errors produced by the HDP-OSR pipeline.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,16 +1,18 @@
 //! The HDP-OSR model: prior construction (fit) and transductive
 //! classification of a test batch (classify).
 
+use std::sync::Arc;
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use osr_dataset::protocol::TrainSet;
-use osr_hdp::{DishId, Hdp, HdpConfig};
+use osr_hdp::{HdpConfig, PosteriorSnapshot};
 use osr_linalg::Matrix;
 use osr_stats::NiwParams;
 
-use crate::decision::{Associations, ClassifyOutcome, Prediction};
-use crate::discovery::{estimate_unknown_classes, GroupSubclasses, SubclassReport};
+use crate::decision::{ClassifyOutcome, Prediction};
+use crate::serving::{self, ServingMode, WarmState};
 use crate::{OsrError, Result};
 
 /// Configuration of HDP-OSR (§4.1.2 defaults).
@@ -41,6 +43,16 @@ pub struct HdpOsrConfig {
     /// per-point majority over them — a cheap posterior average that
     /// smooths single-state sampling noise.
     pub decision_sweeps: usize,
+    /// How `classify` is served: [`ServingMode::WarmStart`] (default)
+    /// amortizes the training burn-in across batches via a posterior
+    /// checkpoint; [`ServingMode::ColdStart`] reproduces the original
+    /// per-batch transductive re-run.
+    pub serving: ServingMode,
+    /// Seed of the training-only burn-in under
+    /// [`ServingMode::WarmStart`]. Fixed at fit time so the checkpoint (and
+    /// hence every subsequent warm decision) is reproducible regardless of
+    /// which RNG later serves the batches.
+    pub train_seed: u64,
 }
 
 impl Default for HdpOsrConfig {
@@ -55,6 +67,8 @@ impl Default for HdpOsrConfig {
             alpha_prior: (10.0, 1.0),
             resample_concentrations: true,
             decision_sweeps: 1,
+            serving: ServingMode::WarmStart,
+            train_seed: 42,
         }
     }
 }
@@ -88,7 +102,7 @@ impl HdpOsrConfig {
         Ok(())
     }
 
-    fn hdp_config(&self) -> HdpConfig {
+    pub(crate) fn hdp_config(&self) -> HdpConfig {
         HdpConfig {
             gamma_prior: self.gamma_prior,
             alpha_prior: self.alpha_prior,
@@ -101,12 +115,18 @@ impl HdpOsrConfig {
 /// A fitted HDP-OSR model: the base measure derived from the training data
 /// plus the per-class training groups (kept because classification is
 /// transductive — train and test are co-clustered).
+///
+/// Under [`ServingMode::WarmStart`] (the default) fitting also runs the
+/// training-only Gibbs burn-in once and checkpoints the converged posterior
+/// behind an [`Arc`], so clones of the model and concurrent batch servers
+/// share a single copy of the warm state.
 #[derive(Debug, Clone)]
 pub struct HdpOsr {
     config: HdpOsrConfig,
     params: NiwParams,
     classes: Vec<Vec<Vec<f64>>>,
     dim: usize,
+    warm: Option<Arc<WarmState>>,
 }
 
 impl HdpOsr {
@@ -155,7 +175,12 @@ impl HdpOsr {
 
         let nu = dim as f64 + config.nu_offset;
         let params = build_niw_with_jitter(mu0, config.beta, nu, pooled)?;
-        Ok(Self { config: *config, params, classes: train.classes.clone(), dim })
+        let mut model =
+            Self { config: *config, params, classes: train.classes.clone(), dim, warm: None };
+        if config.serving == ServingMode::WarmStart {
+            model.warm = Some(Arc::new(WarmState::build(&model)?));
+        }
+        Ok(model)
     }
 
     /// Feature dimension the model expects.
@@ -179,29 +204,19 @@ impl HdpOsr {
         &self.classes
     }
 
-    /// Associate every ϱ-surviving subclass with its known classes in the
-    /// sampler's current state, producing the association table and the
-    /// per-class report rows.
-    fn associate(&self, hdp: &Hdp) -> (Associations, Vec<GroupSubclasses>) {
-        let mut assoc = Associations::default();
-        let mut known_reports = Vec::with_capacity(self.classes.len());
-        for class in 0..self.classes.len() {
-            let summary = hdp.group_summary(class);
-            let total = summary.n_items as f64;
-            let mut survivors = Vec::new();
-            for &(dish, count) in &summary.dish_counts {
-                let prop = count as f64 / total;
-                if prop >= self.config.varrho {
-                    assoc.insert(dish, class, count);
-                    survivors.push((dish, count, prop));
-                }
-            }
-            known_reports.push(GroupSubclasses {
-                name: format!("Class{}", class + 1),
-                subclasses: survivors,
-            });
-        }
-        (assoc, known_reports)
+    /// The model's configuration.
+    pub fn config(&self) -> &HdpOsrConfig {
+        &self.config
+    }
+
+    /// The converged training checkpoint, when the model was fitted under
+    /// [`ServingMode::WarmStart`] (`None` under cold start).
+    pub fn snapshot(&self) -> Option<&PosteriorSnapshot> {
+        self.warm.as_deref().map(|w| &w.snapshot)
+    }
+
+    pub(crate) fn warm(&self) -> Option<&WarmState> {
+        self.warm.as_deref()
     }
 
     /// Classify a test batch; convenience wrapper around
@@ -217,9 +232,13 @@ impl HdpOsr {
         Ok(self.classify_detailed(test, rng)?.predictions)
     }
 
-    /// Co-cluster the known classes with the test batch and return the full
-    /// collective decision: predictions, subclass report (Tables 1–2), and
-    /// sampler diagnostics.
+    /// Serve one test batch and return the full collective decision:
+    /// predictions, subclass report (Tables 1–2), and sampler diagnostics.
+    ///
+    /// Under [`ServingMode::WarmStart`] the batch is co-clustered against
+    /// the fit-time posterior checkpoint (only the batch is reseated);
+    /// under [`ServingMode::ColdStart`] the known classes and the batch are
+    /// re-clustered from scratch, exactly as in the paper's protocol.
     ///
     /// # Errors
     /// Fails on an empty test batch, dimension mismatches, or sampler
@@ -229,100 +248,12 @@ impl HdpOsr {
         test: &[Vec<f64>],
         rng: &mut R,
     ) -> Result<ClassifyOutcome> {
-        if test.is_empty() {
-            return Err(OsrError::InvalidTestSet("empty test batch".into()));
-        }
-        if let Some(bad) = test.iter().find(|p| p.len() != self.dim) {
-            return Err(OsrError::InvalidTestSet(format!(
-                "test point of dimension {} (expected {})",
-                bad.len(),
-                self.dim
-            )));
-        }
-
-        let mut groups = self.classes.clone();
-        groups.push(test.to_vec());
-        let test_group = groups.len() - 1;
-
-        let mut hdp = Hdp::new(self.params.clone(), self.config.hdp_config(), groups)?;
-        hdp.run(rng);
-
-        // Collect one decision snapshot per voting sweep; the subclass
-        // report always reflects the final state.
-        let n_test = test.len();
-        let mut votes: Vec<std::collections::BTreeMap<Prediction, usize>> =
-            vec![std::collections::BTreeMap::new(); n_test];
-        for extra in 0..self.config.decision_sweeps {
-            if extra > 0 {
-                hdp.sweep(rng);
-            }
-            let assoc = self.associate(&hdp).0;
-            for (i, vote) in votes.iter_mut().enumerate() {
-                let pred = assoc.decide(hdp.dish_of(test_group, i));
-                *vote.entry(pred).or_insert(0) += 1;
-            }
-        }
-        let predictions: Vec<Prediction> = votes
-            .iter()
-            .map(|v| {
-                v.iter()
-                    .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
-                    .map(|(&p, _)| p)
-                    .expect("at least one voting sweep")
-            })
-            .collect();
-
-        let (assoc, known_reports) = self.associate(&hdp);
-
-        // Test-group composition and per-point decisions.
-        let summary = hdp.group_summary(test_group);
-        let mut test_known = Vec::new();
-        let mut test_new = Vec::new();
-        let mut surviving_items = 0usize;
-        for &(dish, count) in &summary.dish_counts {
-            let prop = count as f64 / summary.n_items as f64;
-            if prop >= self.config.varrho {
-                surviving_items += count;
-                if assoc.is_known(dish) {
-                    test_known.push((dish, count, prop));
-                } else {
-                    test_new.push((dish, count, prop));
-                }
-            }
-        }
-        // Proportions over surviving subclasses (the paper's table rows sum
-        // to 100 %).
-        let known_items: usize = test_known.iter().map(|&(_, c, _)| c).sum();
-        let new_items: usize = test_new.iter().map(|&(_, c, _)| c).sum();
-        let denom = surviving_items.max(1) as f64;
-
-        let n_known_sub: usize = known_reports.iter().map(GroupSubclasses::n_subclasses).sum();
-        let delta =
-            estimate_unknown_classes(test_new.len(), n_known_sub, self.classes.len());
-
-        let test_dishes: Vec<DishId> =
-            (0..test.len()).map(|i| hdp.dish_of(test_group, i)).collect();
-
-        Ok(ClassifyOutcome {
-            predictions,
-            report: SubclassReport {
-                known: known_reports,
-                test_known,
-                test_new,
-                test_known_proportion: known_items as f64 / denom,
-                test_new_proportion: new_items as f64 / denom,
-                delta_estimate: delta,
-            },
-            test_dishes,
-            gamma: hdp.gamma(),
-            alpha: hdp.alpha(),
-            log_likelihood: hdp.joint_log_likelihood(),
-        })
+        serving::serve_batch(self, test, rng)
     }
 }
 
-/// Build NIW hyperparameters, adding exponentially growing diagonal jitter
-/// until the scale matrix factorizes (rank-deficient pooled covariances
+/// Build NIW hyperparameters, repairing a rank-deficient scale matrix with
+/// the shared escalating-jitter factorizer (singular pooled covariances
 /// happen when a class has fewer points than dimensions).
 fn build_niw_with_jitter(
     mu0: Vec<f64>,
@@ -330,29 +261,14 @@ fn build_niw_with_jitter(
     nu0: f64,
     mut psi0: Matrix,
 ) -> Result<NiwParams> {
-    let d = psi0.rows();
-    let scale = (psi0.trace().abs() / d.max(1) as f64).max(1e-6);
-    let mut jitter = 0.0;
-    for attempt in 0..24 {
-        let mut candidate = psi0.clone();
-        if jitter > 0.0 {
-            for i in 0..d {
-                candidate[(i, i)] += jitter;
-            }
-        }
-        match NiwParams::new(mu0.clone(), kappa0, nu0, candidate) {
-            Ok(p) => return Ok(p),
-            Err(e) => {
-                if attempt == 23 {
-                    return Err(e.into());
-                }
-                jitter = if jitter == 0.0 { 1e-10 * scale } else { jitter * 10.0 };
-                // Keep psi0 untouched; only the candidate gets jitter.
-                let _ = &mut psi0;
-            }
+    let (_chol, jitter) = osr_stats::factor_spd_with_jitter(&psi0)
+        .map_err(|e| OsrError::Stats(osr_stats::StatsError::Linalg(e)))?;
+    if jitter > 0.0 {
+        for i in 0..psi0.rows() {
+            psi0[(i, i)] += jitter;
         }
     }
-    unreachable!("loop returns on the last attempt")
+    Ok(NiwParams::new(mu0, kappa0, nu0, psi0)?)
 }
 
 #[cfg(test)]

@@ -1,0 +1,483 @@
+//! The serving layer: fit-once/serve-many warm-start classification and a
+//! concurrent batch server.
+//!
+//! The paper's protocol is transductive — every test batch is co-clustered
+//! with the entire training set — so the obvious implementation pays the
+//! full Gibbs burn-in (`iterations` sweeps over `N_train + N_batch` points)
+//! *per batch*. This module amortizes that cost:
+//!
+//! * [`WarmState`] (built once in [`HdpOsr::fit`] under
+//!   [`ServingMode::WarmStart`]) runs the training-only burn-in, snapshots
+//!   the converged posterior, and precomputes the dish→class association
+//!   table.
+//! * [`serve_batch`] then answers each batch from a private
+//!   [`osr_hdp::BatchSession`] clone of that snapshot: only the batch group
+//!   is reseated, for `decision_sweeps` warm sweeps instead of a cold
+//!   burn-in.
+//! * [`BatchServer`] fans independent batches out over scoped worker
+//!   threads with per-batch RNGs derived from `(seed, batch_index)`, so
+//!   results do not depend on the number of workers or their scheduling.
+//!
+//! [`ServingMode::ColdStart`] is the escape hatch reproducing the original
+//! behaviour exactly: no snapshot is kept and every batch pays the full
+//! transductive burn-in with the training groups deep-copied in.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use osr_hdp::{GroupSummary, Hdp, PosteriorSnapshot};
+
+use crate::decision::{Associations, ClassifyOutcome, Prediction};
+use crate::discovery::{estimate_unknown_classes, GroupSubclasses, SubclassReport};
+use crate::model::HdpOsr;
+use crate::{OsrError, Result};
+
+/// How a fitted model answers [`HdpOsr::classify`] calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServingMode {
+    /// Fit-once/serve-many (the default): `fit` runs the training burn-in
+    /// once and checkpoints it; every batch is served warm from a private
+    /// clone of the snapshot in `O(decision_sweeps × N_batch)` seating
+    /// moves. Training seating is frozen at its converged state, so the
+    /// known-class subclass report is identical across batches.
+    WarmStart,
+    /// The original transductive schedule: every batch re-runs the full
+    /// cold burn-in over training + batch. Slower by a factor of roughly
+    /// `iterations × (N_train + N_batch) / (decision_sweeps × N_batch)`,
+    /// but lets the batch reshape the training seating too.
+    ColdStart,
+}
+
+/// Everything `fit` precomputes for warm serving: the converged training
+/// checkpoint plus the dish→class association table and per-class report
+/// rows derived from it.
+#[derive(Debug)]
+pub(crate) struct WarmState {
+    pub snapshot: PosteriorSnapshot,
+    pub assoc: Associations,
+    pub known_reports: Vec<GroupSubclasses>,
+}
+
+impl WarmState {
+    /// Run the training-only burn-in (seeded by `config.train_seed`) and
+    /// checkpoint the converged state.
+    pub fn build(model: &HdpOsr) -> Result<Self> {
+        let mut hdp = Hdp::new(
+            model.params().clone(),
+            model.config().hdp_config(),
+            model.classes().to_vec(),
+        )?;
+        let mut rng = StdRng::seed_from_u64(model.config().train_seed);
+        hdp.run(&mut rng);
+        let snapshot = hdp.snapshot();
+        let (assoc, known_reports) =
+            associate(model.config().varrho, model.n_classes(), |c| snapshot.group_summary(c));
+        Ok(Self { snapshot, assoc, known_reports })
+    }
+}
+
+/// Associate every ϱ-surviving subclass of every known class with that
+/// class, producing the association table and the per-class report rows.
+/// `summary_of(c)` must return class `c`'s current group summary.
+pub(crate) fn associate<F: Fn(usize) -> GroupSummary>(
+    varrho: f64,
+    n_classes: usize,
+    summary_of: F,
+) -> (Associations, Vec<GroupSubclasses>) {
+    let mut assoc = Associations::default();
+    let mut known_reports = Vec::with_capacity(n_classes);
+    for class in 0..n_classes {
+        let summary = summary_of(class);
+        let total = summary.n_items as f64;
+        let mut survivors = Vec::new();
+        for &(dish, count) in &summary.dish_counts {
+            let prop = count as f64 / total;
+            if prop >= varrho {
+                assoc.insert(dish, class, count);
+                survivors.push((dish, count, prop));
+            }
+        }
+        known_reports.push(GroupSubclasses {
+            name: format!("Class{}", class + 1),
+            subclasses: survivors,
+        });
+    }
+    (assoc, known_reports)
+}
+
+/// Per-point majority over the voting sweeps (ties break toward the
+/// BTreeMap-larger prediction, i.e. Unknown over Known, higher class id
+/// over lower — matching the original single-path implementation).
+fn majority(votes: &[BTreeMap<Prediction, usize>]) -> Vec<Prediction> {
+    votes
+        .iter()
+        .map(|v| {
+            v.iter()
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+                .map(|(&p, _)| p)
+                .expect("at least one voting sweep")
+        })
+        .collect()
+}
+
+/// Assemble the Tables 1–2 report from the known-class rows and the test
+/// group's final composition.
+fn build_report(
+    varrho: f64,
+    n_classes: usize,
+    assoc: &Associations,
+    known_reports: Vec<GroupSubclasses>,
+    summary: &GroupSummary,
+) -> SubclassReport {
+    let mut test_known = Vec::new();
+    let mut test_new = Vec::new();
+    let mut surviving_items = 0usize;
+    for &(dish, count) in &summary.dish_counts {
+        let prop = count as f64 / summary.n_items as f64;
+        if prop >= varrho {
+            surviving_items += count;
+            if assoc.is_known(dish) {
+                test_known.push((dish, count, prop));
+            } else {
+                test_new.push((dish, count, prop));
+            }
+        }
+    }
+    // Proportions over surviving subclasses (the paper's table rows sum
+    // to 100 %).
+    let known_items: usize = test_known.iter().map(|&(_, c, _)| c).sum();
+    let new_items: usize = test_new.iter().map(|&(_, c, _)| c).sum();
+    let denom = surviving_items.max(1) as f64;
+
+    let n_known_sub: usize = known_reports.iter().map(GroupSubclasses::n_subclasses).sum();
+    let delta = estimate_unknown_classes(test_new.len(), n_known_sub, n_classes);
+
+    SubclassReport {
+        known: known_reports,
+        test_known,
+        test_new,
+        test_known_proportion: known_items as f64 / denom,
+        test_new_proportion: new_items as f64 / denom,
+        delta_estimate: delta,
+    }
+}
+
+/// Serve one test batch, dispatching on how the model was fitted: warm
+/// (snapshot present) or cold (full transductive re-run).
+pub(crate) fn serve_batch<R: Rng + ?Sized>(
+    model: &HdpOsr,
+    test: &[Vec<f64>],
+    rng: &mut R,
+) -> Result<ClassifyOutcome> {
+    if test.is_empty() {
+        return Err(OsrError::InvalidTestSet("empty test batch".into()));
+    }
+    if let Some(bad) = test.iter().find(|p| p.len() != model.dim()) {
+        return Err(OsrError::InvalidTestSet(format!(
+            "test point of dimension {} (expected {})",
+            bad.len(),
+            model.dim()
+        )));
+    }
+    match model.warm() {
+        Some(warm) => serve_warm(model, warm, test, rng),
+        None => serve_cold(model, test, rng),
+    }
+}
+
+/// Warm path: clone the checkpoint, append the batch, reseat only the batch
+/// for `decision_sweeps` sweeps, and vote against the precomputed
+/// association table (training seating cannot move, so the table stays
+/// valid across sweeps).
+fn serve_warm<R: Rng + ?Sized>(
+    model: &HdpOsr,
+    warm: &WarmState,
+    test: &[Vec<f64>],
+    rng: &mut R,
+) -> Result<ClassifyOutcome> {
+    let config = model.config();
+    let mut session = warm.snapshot.session(test.to_vec())?;
+
+    let mut votes: Vec<BTreeMap<Prediction, usize>> = vec![BTreeMap::new(); test.len()];
+    for _ in 0..config.decision_sweeps {
+        session.sweep(rng);
+        for (i, vote) in votes.iter_mut().enumerate() {
+            let pred = warm.assoc.decide(session.dish_of(i));
+            *vote.entry(pred).or_insert(0) += 1;
+        }
+    }
+    let predictions = majority(&votes);
+
+    let summary = session.group_summary(session.batch_group());
+    let report = build_report(
+        config.varrho,
+        model.n_classes(),
+        &warm.assoc,
+        warm.known_reports.clone(),
+        &summary,
+    );
+    let test_dishes = (0..test.len()).map(|i| session.dish_of(i)).collect();
+
+    Ok(ClassifyOutcome {
+        predictions,
+        report,
+        test_dishes,
+        gamma: session.gamma(),
+        alpha: session.alpha(),
+        log_likelihood: session.joint_log_likelihood(),
+    })
+}
+
+/// Cold path ([`ServingMode::ColdStart`]): the original transductive
+/// schedule — deep-copy the training groups, append the batch, run the full
+/// burn-in, and vote over `decision_sweeps` posterior states with the
+/// association table recomputed per state (training seating moves here).
+fn serve_cold<R: Rng + ?Sized>(
+    model: &HdpOsr,
+    test: &[Vec<f64>],
+    rng: &mut R,
+) -> Result<ClassifyOutcome> {
+    let config = model.config();
+    let mut groups = model.classes().to_vec();
+    groups.push(test.to_vec());
+    let test_group = groups.len() - 1;
+
+    let mut hdp = Hdp::new(model.params().clone(), config.hdp_config(), groups)?;
+    hdp.run(rng);
+
+    // Collect one decision snapshot per voting sweep; the subclass report
+    // always reflects the final state.
+    let mut votes: Vec<BTreeMap<Prediction, usize>> = vec![BTreeMap::new(); test.len()];
+    for extra in 0..config.decision_sweeps {
+        if extra > 0 {
+            hdp.sweep(rng);
+        }
+        let assoc = associate(config.varrho, model.n_classes(), |c| hdp.group_summary(c)).0;
+        for (i, vote) in votes.iter_mut().enumerate() {
+            let pred = assoc.decide(hdp.dish_of(test_group, i));
+            *vote.entry(pred).or_insert(0) += 1;
+        }
+    }
+    let predictions = majority(&votes);
+
+    let (assoc, known_reports) =
+        associate(config.varrho, model.n_classes(), |c| hdp.group_summary(c));
+    let summary = hdp.group_summary(test_group);
+    let report =
+        build_report(config.varrho, model.n_classes(), &assoc, known_reports, &summary);
+    let test_dishes = (0..test.len()).map(|i| hdp.dish_of(test_group, i)).collect();
+
+    Ok(ClassifyOutcome {
+        predictions,
+        report,
+        test_dishes,
+        gamma: hdp.gamma(),
+        alpha: hdp.alpha(),
+        log_likelihood: hdp.joint_log_likelihood(),
+    })
+}
+
+/// Derive the RNG seed for batch `index` under server seed `seed` — the
+/// same splitmix-style scheme the evaluation harness uses per trial, so a
+/// batch's result can be reproduced sequentially without the server.
+pub fn derive_batch_seed(seed: u64, index: usize) -> u64 {
+    seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Serve many independent batches concurrently over scoped worker threads.
+///
+/// Each batch gets its own RNG seeded by [`derive_batch_seed`], so the
+/// output is a pure function of `(model, batches, seed)` — independent of
+/// the worker count and of thread scheduling. Workers pull batch indices
+/// from a shared atomic counter (work stealing), so stragglers do not hold
+/// up the queue.
+pub struct BatchServer<'a> {
+    model: &'a HdpOsr,
+    workers: usize,
+}
+
+impl<'a> BatchServer<'a> {
+    /// A server over `model` with one worker per available CPU.
+    pub fn new(model: &'a HdpOsr) -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { model, workers }
+    }
+
+    /// A server with an explicit worker count (clamped to ≥ 1).
+    pub fn with_workers(model: &'a HdpOsr, workers: usize) -> Self {
+        Self { model, workers: workers.max(1) }
+    }
+
+    /// Number of worker threads the server will spawn.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Classify every batch; result `i` belongs to batch `i`. Per-batch
+    /// failures (e.g. an empty batch) are returned in place, they do not
+    /// poison the other batches.
+    pub fn classify_batches(
+        &self,
+        batches: &[Vec<Vec<f64>>],
+        seed: u64,
+    ) -> Vec<Result<ClassifyOutcome>> {
+        let n = batches.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let results: Mutex<Vec<Option<Result<ClassifyOutcome>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..self.workers.min(n) {
+                s.spawn(|_| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n {
+                        break;
+                    }
+                    let mut rng = StdRng::seed_from_u64(derive_batch_seed(seed, idx));
+                    let outcome = serve_batch(self.model, &batches[idx], &mut rng);
+                    results.lock()[idx] = Some(outcome);
+                });
+            }
+        })
+        .expect("batch worker panicked");
+        results
+            .into_inner()
+            .into_iter()
+            .map(|slot| slot.expect("every batch index was claimed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::HdpOsrConfig;
+    use osr_dataset::protocol::TrainSet;
+    use osr_stats::sampling;
+
+    fn blob(rng: &mut StdRng, cx: f64, cy: f64, n: usize, std: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                vec![
+                    cx + std * sampling::standard_normal(rng),
+                    cy + std * sampling::standard_normal(rng),
+                ]
+            })
+            .collect()
+    }
+
+    /// Two known classes far apart; unknowns in a third location.
+    fn scenario(rng: &mut StdRng) -> (TrainSet, Vec<Vec<f64>>) {
+        let class0 = blob(rng, -6.0, 0.0, 40, 0.5);
+        let class1 = blob(rng, 6.0, 0.0, 40, 0.5);
+        let train = TrainSet { class_ids: vec![10, 20], classes: vec![class0, class1] };
+        let mut test = blob(rng, -6.0, 0.0, 20, 0.5); // known 0
+        test.extend(blob(rng, 6.0, 0.0, 20, 0.5)); // known 1
+        test.extend(blob(rng, 0.0, 9.0, 20, 0.5)); // unknown
+        (train, test)
+    }
+
+    fn config(serving: ServingMode) -> HdpOsrConfig {
+        HdpOsrConfig { iterations: 10, serving, ..Default::default() }
+    }
+
+    #[test]
+    fn warm_and_cold_agree_on_separated_blobs() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (train, test) = scenario(&mut rng);
+        let warm = HdpOsr::fit(&config(ServingMode::WarmStart), &train).unwrap();
+        let cold = HdpOsr::fit(&config(ServingMode::ColdStart), &train).unwrap();
+        let seed = 7u64;
+        let pw = warm
+            .classify(&test, &mut StdRng::seed_from_u64(derive_batch_seed(seed, 0)))
+            .unwrap();
+        let pc = cold
+            .classify(&test, &mut StdRng::seed_from_u64(derive_batch_seed(seed, 0)))
+            .unwrap();
+        let agree = pw.iter().zip(&pc).filter(|(a, b)| a == b).count();
+        assert!(
+            agree * 100 >= pw.len() * 95,
+            "warm/cold parity: only {agree}/{} predictions agree",
+            pw.len()
+        );
+    }
+
+    #[test]
+    fn warm_model_reports_frozen_training_composition() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let (train, test) = scenario(&mut rng);
+        let model = HdpOsr::fit(&config(ServingMode::WarmStart), &train).unwrap();
+        let a = model.classify_detailed(&test, &mut StdRng::seed_from_u64(1)).unwrap();
+        let b =
+            model.classify_detailed(&test[..10].to_vec(), &mut StdRng::seed_from_u64(2)).unwrap();
+        // Different batches, same frozen known-class subclass rows.
+        for (ka, kb) in a.report.known.iter().zip(&b.report.known) {
+            assert_eq!(ka.subclasses, kb.subclasses);
+        }
+    }
+
+    #[test]
+    fn batch_server_output_is_independent_of_worker_count() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let (train, test) = scenario(&mut rng);
+        let model = HdpOsr::fit(&config(ServingMode::WarmStart), &train).unwrap();
+        let batches: Vec<Vec<Vec<f64>>> = test.chunks(10).map(<[Vec<f64>]>::to_vec).collect();
+        assert!(batches.len() >= 6);
+        let run = |workers: usize| -> Vec<Vec<Prediction>> {
+            BatchServer::with_workers(&model, workers)
+                .classify_batches(&batches, 99)
+                .into_iter()
+                .map(|r| r.unwrap().predictions)
+                .collect()
+        };
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+    }
+
+    #[test]
+    fn batch_server_matches_sequential_serving() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let (train, test) = scenario(&mut rng);
+        let model = HdpOsr::fit(&config(ServingMode::WarmStart), &train).unwrap();
+        let batches: Vec<Vec<Vec<f64>>> = test.chunks(15).map(<[Vec<f64>]>::to_vec).collect();
+        let seed = 5u64;
+        let server = BatchServer::with_workers(&model, 4).classify_batches(&batches, seed);
+        for (idx, (batch, result)) in batches.iter().zip(server).enumerate() {
+            let mut rng = StdRng::seed_from_u64(derive_batch_seed(seed, idx));
+            let sequential = model.classify(batch, &mut rng).unwrap();
+            assert_eq!(result.unwrap().predictions, sequential);
+        }
+    }
+
+    #[test]
+    fn batch_server_surfaces_per_batch_errors() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let (train, test) = scenario(&mut rng);
+        let model = HdpOsr::fit(&config(ServingMode::WarmStart), &train).unwrap();
+        let batches = vec![test[..5].to_vec(), Vec::new(), test[5..10].to_vec()];
+        let results = BatchServer::new(&model).classify_batches(&batches, 1);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err(), "empty batch must fail in place");
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn cold_start_model_keeps_no_snapshot() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let (train, _) = scenario(&mut rng);
+        let cold = HdpOsr::fit(&config(ServingMode::ColdStart), &train).unwrap();
+        assert!(cold.snapshot().is_none());
+        let warm = HdpOsr::fit(&config(ServingMode::WarmStart), &train).unwrap();
+        let snap = warm.snapshot().expect("warm fit checkpoints the posterior");
+        assert_eq!(snap.n_groups(), 2);
+        assert!(snap.n_dishes() >= 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! Benchmarking for the `hdp-osr` workspace.
+//!
+//! Self-contained stand-in for the subset of the `criterion 0.5` API the
+//! workspace's benches use ([`Criterion`], benchmark groups, [`Bencher`]
+//! with `iter`/`iter_batched`, and the `criterion_group!`/`criterion_main!`
+//! macros). The build environment has no access to crates.io, so the real
+//! criterion cannot be fetched.
+//!
+//! Methodology (simplified but honest): each benchmark runs a warm-up
+//! iteration, then `sample_size` timed iterations, and reports the median,
+//! minimum, and mean wall-clock time per iteration to stdout. There is no
+//! statistical outlier analysis, HTML report, or saved baseline.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        run_benchmark(&name.into(), self.sample_size, f);
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, self.sample_size, f);
+    }
+
+    /// Finish the group (kept for API compatibility; reporting is per
+    /// benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Hands the benchmark body its timing loop.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` as-is.
+    pub fn iter<T, R: FnMut() -> T>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup`; only `routine` is timed.
+    pub fn iter_batched<I, T, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> T,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Input-size hint for [`Bencher::iter_batched`]; the shim times identically
+/// for both, but keeps the names for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Input is cheap to hold in memory many times over.
+    SmallInput,
+    /// Input is large; batch sparingly.
+    LargeInput,
+}
+
+/// Summary statistics of one benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Median time per iteration.
+    pub median: Duration,
+    /// Minimum time per iteration.
+    pub min: Duration,
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Number of timed iterations.
+    pub samples: usize,
+}
+
+fn summarize(samples: &mut [Duration]) -> Summary {
+    samples.sort_unstable();
+    let n = samples.len();
+    let total: Duration = samples.iter().sum();
+    Summary {
+        median: samples[n / 2],
+        min: samples[0],
+        mean: total / n as u32,
+        samples: n,
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher { sample_size, samples: Vec::with_capacity(sample_size) };
+    f(&mut b);
+    if b.samples.is_empty() {
+        // The body never called iter/iter_batched; nothing to report.
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let s = summarize(&mut b.samples);
+    println!(
+        "{name:<48} median {:>12?}  min {:>12?}  mean {:>12?}  ({} samples)",
+        s.median, s.min, s.mean, s.samples
+    );
+}
+
+/// Run a benchmark body once and return its summary instead of printing —
+/// the hook used by this workspace's JSON-emitting serving benchmark.
+pub fn measure<F: FnMut(&mut Bencher)>(sample_size: usize, mut f: F) -> Summary {
+    let mut b = Bencher { sample_size, samples: Vec::with_capacity(sample_size) };
+    f(&mut b);
+    assert!(!b.samples.is_empty(), "measure: body must call iter or iter_batched");
+    summarize(&mut b.samples)
+}
+
+/// Collect benchmark functions into one runner function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_the_requested_samples() {
+        let s = measure(7, |b| b.iter(|| black_box(3u64.pow(7))));
+        assert_eq!(s.samples, 7);
+        assert!(s.min <= s.median && s.median <= s.mean * 2);
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        let mut setups = 0u32;
+        let s = measure(5, |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u64; 64]
+                },
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(s.samples, 5);
+        assert_eq!(setups, 6); // warm-up + 5 timed
+    }
+
+    #[test]
+    fn groups_and_macros_compile_and_run() {
+        fn tiny(c: &mut Criterion) {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            g.finish();
+        }
+        criterion_group!(benches, tiny);
+        benches();
+    }
+}

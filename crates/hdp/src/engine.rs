@@ -1,0 +1,229 @@
+//! The reusable seating engine: the collapsed CRF Gibbs moves over an
+//! [`HdpState`].
+//!
+//! Every move is expressed *per group*, so the two drivers can share it:
+//!
+//! * [`crate::Hdp`] sweeps every group (full transductive sampling), and
+//! * [`crate::BatchSession`] sweeps only its test group, leaving the frozen
+//!   training seating untouched (warm-start serving).
+//!
+//! A batch-restricted sweep can still do everything the model allows —
+//! batch items may join training dishes (that is the collective decision)
+//! or nucleate brand-new ones — but it can never move a training item or
+//! empty a training table, because those moves only ever touch the group
+//! being swept. Dish sufficient statistics do change when batch items join
+//! them; that is the transductive semantics, and it is confined to the
+//! session's private clone of the state.
+//!
+//! Group observations are behind `Arc`s, so a move takes a cheap handle to
+//! its group and can then mutate seating bookkeeping freely while reading
+//! the point — no copying of observations in the inner loop.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use osr_stats::special::log_sum_exp;
+use osr_stats::{sampling, NiwPosterior};
+
+use crate::concentration::{resample_alpha, resample_gamma};
+use crate::state::{DishId, HdpConfig, HdpState, Table};
+
+impl HdpState {
+    /// Resample the table assignment `t_ji` of every item of group `j`
+    /// (Eq. 7), in index order.
+    pub(crate) fn seat_group_items<R: Rng + ?Sized>(
+        &mut self,
+        prior_post: &NiwPosterior,
+        j: usize,
+        rng: &mut R,
+    ) {
+        for i in 0..self.groups[j].len() {
+            self.seat_item(prior_post, j, i, rng);
+        }
+    }
+
+    /// Resample `t_ji` (Eq. 7): seat item `i` of group `j` at an existing
+    /// table with probability ∝ `n_jt · f_k(x)` or at a new table with
+    /// probability ∝ `α₀ · p(x)`, where `p(x)` marginalizes the new table's
+    /// dish over the global menu.
+    pub(crate) fn seat_item<R: Rng + ?Sized>(
+        &mut self,
+        prior_post: &NiwPosterior,
+        j: usize,
+        i: usize,
+        rng: &mut R,
+    ) {
+        self.unseat(j, i);
+        // A second handle to the group keeps `x` readable while the seating
+        // bookkeeping below takes `&mut self`.
+        let group = Arc::clone(&self.groups[j]);
+        let x: &[f64] = &group[i];
+
+        // Predictive of x under every live dish, and under the prior.
+        let dish_pred: Vec<(DishId, f64)> = self
+            .live_dishes()
+            .map(|(id, d)| (id, d.posterior.predictive_logpdf(x)))
+            .collect();
+        let prior_pred = prior_post.predictive_logpdf(x);
+
+        // New-table marginal: Σ_k m_k/(M+γ) f_k + γ/(M+γ) f_0.
+        let total_tables = self.total_tables() as f64;
+        let gamma = self.gamma;
+        let mut menu_lw: Vec<f64> = dish_pred
+            .iter()
+            .map(|&(id, lp)| (self.dish(id).n_tables as f64).ln() + lp)
+            .collect();
+        menu_lw.push(gamma.ln() + prior_pred);
+        let new_table_marginal = log_sum_exp(&menu_lw) - (total_tables + gamma).ln();
+
+        // Candidate log-weights: one per existing table, then the new table.
+        let tables = &self.tables[j];
+        let mut lw: Vec<f64> = Vec::with_capacity(tables.len() + 1);
+        for table in tables {
+            let pred = dish_pred
+                .iter()
+                .find(|&&(id, _)| id == table.dish)
+                .map(|&(_, lp)| lp)
+                .expect("table serves a live dish");
+            lw.push((table.members.len() as f64).ln() + pred);
+        }
+        lw.push(self.alpha.ln() + new_table_marginal);
+
+        let choice = sampling::categorical_log(rng, &lw);
+        if choice < self.tables[j].len() {
+            // Existing table.
+            let dish = self.tables[j][choice].dish;
+            self.dish_mut(dish).posterior.add(x);
+            self.tables[j][choice].members.push(i);
+            self.assignment[j][i] = choice;
+        } else {
+            // New table: draw its dish from the menu posterior (same
+            // mixture that formed the marginal above).
+            let menu_choice = sampling::categorical_log(rng, &menu_lw);
+            let dish = if menu_choice < dish_pred.len() {
+                dish_pred[menu_choice].0
+            } else {
+                self.new_dish()
+            };
+            self.dish_mut(dish).posterior.add(x);
+            self.dish_mut(dish).n_tables += 1;
+            self.tables[j].push(Table { dish, members: vec![i] });
+            self.assignment[j][i] = self.tables[j].len() - 1;
+        }
+    }
+
+    /// Remove item `i` of group `j` from its table (no-op when unseated),
+    /// deleting the table if it empties and retiring orphaned dishes.
+    pub(crate) fn unseat(&mut self, j: usize, i: usize) {
+        let ti = self.assignment[j][i];
+        if ti == usize::MAX {
+            return;
+        }
+        self.assignment[j][i] = usize::MAX;
+        let dish = self.tables[j][ti].dish;
+        let group = Arc::clone(&self.groups[j]);
+        self.dish_mut(dish).posterior.remove(&group[i]);
+        let table = &mut self.tables[j][ti];
+        let pos = table
+            .members
+            .iter()
+            .position(|&m| m == i)
+            .expect("item must be a member of its assigned table");
+        table.members.swap_remove(pos);
+        if table.members.is_empty() {
+            self.tables[j].swap_remove(ti);
+            // The table that was last is now at ti: fix its members' links.
+            if ti < self.tables[j].len() {
+                let moved_members = self.tables[j][ti].members.clone();
+                for m in moved_members {
+                    self.assignment[j][m] = ti;
+                }
+            }
+            let d = self.dish_mut(dish);
+            d.n_tables -= 1;
+            self.retire_if_empty(dish);
+        }
+    }
+
+    /// Resample `k_jt` for every table of group `j` (Eq. 8), in index order.
+    pub(crate) fn resample_group_dishes<R: Rng + ?Sized>(
+        &mut self,
+        prior_post: &NiwPosterior,
+        j: usize,
+        rng: &mut R,
+    ) {
+        for ti in 0..self.tables[j].len() {
+            self.resample_table_dish(prior_post, j, ti, rng);
+        }
+    }
+
+    /// Resample `k_jt` for one table (Eq. 8): an existing dish with
+    /// probability ∝ `m_k · ∏ f_k(x_table)` or a new one with probability
+    /// ∝ `γ · ∏ p(x_table)`.
+    pub(crate) fn resample_table_dish<R: Rng + ?Sized>(
+        &mut self,
+        prior_post: &NiwPosterior,
+        j: usize,
+        ti: usize,
+        rng: &mut R,
+    ) {
+        let old_dish = self.tables[j][ti].dish;
+        let members = self.tables[j][ti].members.clone();
+        let group = Arc::clone(&self.groups[j]);
+
+        // Detach the block from its dish.
+        {
+            let dish = self.dish_mut(old_dish);
+            for &m in &members {
+                dish.posterior.remove(&group[m]);
+            }
+            dish.n_tables -= 1;
+        }
+        self.retire_if_empty(old_dish);
+
+        // Score every live dish plus a fresh one.
+        let block_refs: Vec<&[f64]> = members.iter().map(|&m| group[m].as_slice()).collect();
+        let live_ids: Vec<DishId> = self.live_dishes().map(|(id, _)| id).collect();
+        let mut lw = Vec::with_capacity(live_ids.len() + 1);
+        for &id in &live_ids {
+            let dish = self.dishes[id].as_mut().expect("live id");
+            let lp = dish.posterior.block_predictive_logpdf(&block_refs);
+            lw.push((dish.n_tables as f64).ln() + lp);
+        }
+        {
+            let mut scratch = prior_post.clone();
+            let lp = scratch.block_predictive_logpdf(&block_refs);
+            lw.push(self.gamma.ln() + lp);
+        }
+
+        let choice = sampling::categorical_log(rng, &lw);
+        let new_dish = if choice < live_ids.len() { live_ids[choice] } else { self.new_dish() };
+        {
+            let dish = self.dish_mut(new_dish);
+            for &m in &members {
+                dish.posterior.add(&group[m]);
+            }
+            dish.n_tables += 1;
+        }
+        self.tables[j][ti].dish = new_dish;
+    }
+
+    /// Resample γ (Escobar–West) and α₀ (Teh et al. auxiliary variables)
+    /// from the whole franchise's table/dish counts.
+    pub(crate) fn resample_concentrations<R: Rng + ?Sized>(
+        &mut self,
+        config: &HdpConfig,
+        rng: &mut R,
+    ) {
+        let total_tables = self.total_tables();
+        let k = self.n_dishes();
+        if total_tables == 0 || k == 0 {
+            return;
+        }
+        self.gamma = resample_gamma(rng, self.gamma, k, total_tables, config.gamma_prior);
+        let group_sizes: Vec<usize> = self.groups.iter().map(|g| g.len()).collect();
+        self.alpha =
+            resample_alpha(rng, self.alpha, total_tables, &group_sizes, config.alpha_prior);
+    }
+}

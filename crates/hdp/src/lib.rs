@@ -26,11 +26,14 @@
 #![deny(unsafe_code)]
 
 mod concentration;
+mod engine;
 mod sampler;
+mod session;
 mod state;
 
 pub use concentration::{resample_alpha, resample_gamma};
 pub use sampler::Hdp;
+pub use session::{BatchSession, PosteriorSnapshot};
 pub use state::{DishId, DishSummary, GroupSummary, HdpConfig};
 
 /// Errors produced while building or running an HDP.

@@ -7,25 +7,47 @@
 //!
 //! All component parameters φ are integrated out through the conjugate NIW
 //! base measure, so the only state is the seating arrangement plus O(d²)
-//! sufficient statistics per dish.
+//! sufficient statistics per dish. The moves themselves live in the seating
+//! engine (`engine.rs`, `impl HdpState`); this type owns the state, drives
+//! full sweeps over every group, and can checkpoint a converged arrangement
+//! into a [`PosteriorSnapshot`] for warm-start serving.
+
+use std::sync::Arc;
 
 use rand::Rng;
 
-use osr_stats::special::log_sum_exp;
-use osr_stats::{sampling, NiwParams, NiwPosterior};
+use osr_stats::{NiwParams, NiwPosterior};
 
-use crate::concentration::{resample_alpha, resample_gamma};
-use crate::state::{DishId, DishSummary, FranchiseState, GroupSummary, HdpConfig, Table};
+use crate::session::PosteriorSnapshot;
+use crate::state::{DishId, DishSummary, GroupSummary, HdpConfig, HdpState};
 use crate::{HdpError, Result};
 
 /// A Hierarchical Dirichlet Process mixture over a fixed set of groups.
 #[derive(Debug, Clone)]
 pub struct Hdp {
-    state: FranchiseState,
+    state: HdpState,
     config: HdpConfig,
     /// Cached prior-state posterior for `p(x)` under H (new tables/dishes).
     prior_post: NiwPosterior,
     initialized: bool,
+}
+
+/// Validate one group against the base measure's dimension; shared between
+/// [`Hdp::new`] and [`PosteriorSnapshot::session`](crate::PosteriorSnapshot::session).
+pub(crate) fn validate_group(j: usize, group: &[Vec<f64>], d: usize) -> Result<()> {
+    if group.is_empty() {
+        return Err(HdpError::InvalidGroups(format!("group {j} is empty")));
+    }
+    if let Some(bad) = group.iter().find(|x| x.len() != d) {
+        return Err(HdpError::InvalidGroups(format!(
+            "group {j} has a point of dimension {} (expected {d})",
+            bad.len()
+        )));
+    }
+    if group.iter().any(|x| !osr_linalg::vector::all_finite(x)) {
+        return Err(HdpError::InvalidGroups(format!("group {j} contains non-finite values")));
+    }
+    Ok(())
 }
 
 impl Hdp {
@@ -42,20 +64,7 @@ impl Hdp {
         }
         let d = params.dim();
         for (j, g) in groups.iter().enumerate() {
-            if g.is_empty() {
-                return Err(HdpError::InvalidGroups(format!("group {j} is empty")));
-            }
-            if let Some(bad) = g.iter().find(|x| x.len() != d) {
-                return Err(HdpError::InvalidGroups(format!(
-                    "group {j} has a point of dimension {} (expected {d})",
-                    bad.len()
-                )));
-            }
-            if g.iter().any(|x| !osr_linalg::vector::all_finite(x)) {
-                return Err(HdpError::InvalidGroups(format!(
-                    "group {j} contains non-finite values"
-                )));
-            }
+            validate_group(j, g, d)?;
         }
         let assignment = groups.iter().map(|g| vec![usize::MAX; g.len()]).collect();
         let n_groups = groups.len();
@@ -64,9 +73,9 @@ impl Hdp {
         let gamma = config.gamma_prior.0 / config.gamma_prior.1;
         let alpha = config.alpha_prior.0 / config.alpha_prior.1;
         Ok(Self {
-            state: FranchiseState {
+            state: HdpState {
                 params,
-                groups,
+                groups: groups.into_iter().map(Arc::new).collect(),
                 assignment,
                 tables: vec![Vec::new(); n_groups],
                 dishes: Vec::new(),
@@ -77,6 +86,16 @@ impl Hdp {
             prior_post,
             initialized: false,
         })
+    }
+
+    /// Rebuild a sampler from checkpointed parts (see
+    /// [`PosteriorSnapshot::restore`]). The state is assumed fully seated.
+    pub(crate) fn from_parts(
+        state: HdpState,
+        config: HdpConfig,
+        prior_post: NiwPosterior,
+    ) -> Self {
+        Self { state, config, prior_post, initialized: true }
     }
 
     /// Run the configured number of Gibbs sweeps (initializing with a
@@ -92,13 +111,13 @@ impl Hdp {
     pub fn sweep<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         self.ensure_initialized(rng);
         for j in 0..self.state.groups.len() {
-            for i in 0..self.state.groups[j].len() {
-                self.sample_table_for_item(j, i, rng);
-            }
+            self.state.seat_group_items(&self.prior_post, j, rng);
         }
-        self.resample_dishes(rng);
+        for j in 0..self.state.groups.len() {
+            self.state.resample_group_dishes(&self.prior_post, j, rng);
+        }
         if self.config.resample_concentrations {
-            self.resample_concentrations(rng);
+            self.state.resample_concentrations(&self.config, rng);
         }
     }
 
@@ -108,185 +127,21 @@ impl Hdp {
         }
         self.initialized = true;
         for j in 0..self.state.groups.len() {
-            for i in 0..self.state.groups[j].len() {
-                self.sample_table_for_item(j, i, rng);
-            }
+            self.state.seat_group_items(&self.prior_post, j, rng);
         }
     }
 
-    /// Resample `t_ji` (Eq. 7): seat item `i` of group `j` at an existing
-    /// table with probability ∝ `n_jt · f_k(x)` or at a new table with
-    /// probability ∝ `α₀ · p(x)`, where `p(x)` marginalizes the new table's
-    /// dish over the global menu.
-    fn sample_table_for_item<R: Rng + ?Sized>(&mut self, j: usize, i: usize, rng: &mut R) {
-        self.unseat(j, i);
-        let x = std::mem::take(&mut self.state.groups[j][i]);
-
-        // Predictive of x under every live dish, and under the prior.
-        let dish_pred: Vec<(DishId, f64)> = self
-            .state
-            .live_dishes()
-            .map(|(id, d)| (id, d.posterior.predictive_logpdf(&x)))
-            .collect();
-        let prior_pred = self.prior_post.predictive_logpdf(&x);
-
-        // New-table marginal: Σ_k m_k/(M+γ) f_k + γ/(M+γ) f_0.
-        let total_tables = self.state.total_tables() as f64;
-        let gamma = self.state.gamma;
-        let mut menu_lw: Vec<f64> = dish_pred
-            .iter()
-            .map(|&(id, lp)| (self.state.dish(id).n_tables as f64).ln() + lp)
-            .collect();
-        menu_lw.push(gamma.ln() + prior_pred);
-        let new_table_marginal = log_sum_exp(&menu_lw) - (total_tables + gamma).ln();
-
-        // Candidate log-weights: one per existing table, then the new table.
-        let tables = &self.state.tables[j];
-        let mut lw: Vec<f64> = Vec::with_capacity(tables.len() + 1);
-        for table in tables {
-            let pred = dish_pred
-                .iter()
-                .find(|&&(id, _)| id == table.dish)
-                .map(|&(_, lp)| lp)
-                .expect("table serves a live dish");
-            lw.push((table.members.len() as f64).ln() + pred);
-        }
-        lw.push(self.state.alpha.ln() + new_table_marginal);
-
-        let choice = sampling::categorical_log(rng, &lw);
-        if choice < tables.len() {
-            // Existing table.
-            let dish = self.state.tables[j][choice].dish;
-            self.state.dish_mut(dish).posterior.add(&x);
-            self.state.tables[j][choice].members.push(i);
-            self.state.assignment[j][i] = choice;
-        } else {
-            // New table: draw its dish from the menu posterior (same
-            // mixture that formed the marginal above).
-            let menu_choice = sampling::categorical_log(rng, &menu_lw);
-            let dish = if menu_choice < dish_pred.len() {
-                dish_pred[menu_choice].0
-            } else {
-                self.state.new_dish()
-            };
-            self.state.dish_mut(dish).posterior.add(&x);
-            self.state.dish_mut(dish).n_tables += 1;
-            self.state.tables[j].push(Table { dish, members: vec![i] });
-            self.state.assignment[j][i] = self.state.tables[j].len() - 1;
-        }
-        self.state.groups[j][i] = x;
-    }
-
-    /// Remove item `i` of group `j` from its table (no-op when unseated),
-    /// deleting the table if it empties and retiring orphaned dishes.
-    fn unseat(&mut self, j: usize, i: usize) {
-        let ti = self.state.assignment[j][i];
-        if ti == usize::MAX {
-            return;
-        }
-        self.state.assignment[j][i] = usize::MAX;
-        let dish = self.state.tables[j][ti].dish;
-        {
-            let x = std::mem::take(&mut self.state.groups[j][i]);
-            self.state.dish_mut(dish).posterior.remove(&x);
-            self.state.groups[j][i] = x;
-        }
-        let table = &mut self.state.tables[j][ti];
-        let pos = table
-            .members
-            .iter()
-            .position(|&m| m == i)
-            .expect("item must be a member of its assigned table");
-        table.members.swap_remove(pos);
-        if table.members.is_empty() {
-            self.state.tables[j].swap_remove(ti);
-            // The table that was last is now at ti: fix its members' links.
-            if ti < self.state.tables[j].len() {
-                let moved_members = self.state.tables[j][ti].members.clone();
-                for m in moved_members {
-                    self.state.assignment[j][m] = ti;
-                }
-            }
-            let d = self.state.dish_mut(dish);
-            d.n_tables -= 1;
-            self.state.retire_if_empty(dish);
-        }
-    }
-
-    /// Resample `k_jt` for every table (Eq. 8): an existing dish with
-    /// probability ∝ `m_k · ∏ f_k(x_table)` or a new one with probability
-    /// ∝ `γ · ∏ p(x_table)`.
-    fn resample_dishes<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        for j in 0..self.state.tables.len() {
-            for ti in 0..self.state.tables[j].len() {
-                self.resample_dish_of_table(j, ti, rng);
-            }
-        }
-    }
-
-    fn resample_dish_of_table<R: Rng + ?Sized>(&mut self, j: usize, ti: usize, rng: &mut R) {
-        let old_dish = self.state.tables[j][ti].dish;
-        let members = self.state.tables[j][ti].members.clone();
-        // Owned copy of the block so scoring can mutably borrow the dishes.
-        let block: Vec<Vec<f64>> =
-            members.iter().map(|&m| self.state.groups[j][m].clone()).collect();
-
-        // Detach the block from its dish.
-        {
-            let FranchiseState { groups, dishes, .. } = &mut self.state;
-            let dish = dishes[old_dish].as_mut().expect("table serves a live dish");
-            for &m in &members {
-                dish.posterior.remove(&groups[j][m]);
-            }
-            dish.n_tables -= 1;
-        }
-        self.state.retire_if_empty(old_dish);
-
-        // Score every live dish plus a fresh one.
-        let block_refs: Vec<&[f64]> = block.iter().map(Vec::as_slice).collect();
-        let live_ids: Vec<DishId> = self.state.live_dishes().map(|(id, _)| id).collect();
-        let mut lw = Vec::with_capacity(live_ids.len() + 1);
-        for &id in &live_ids {
-            let dish = self.state.dishes[id].as_mut().expect("live id");
-            let lp = dish.posterior.block_predictive_logpdf(&block_refs);
-            lw.push((dish.n_tables as f64).ln() + lp);
-        }
-        {
-            let mut scratch = self.prior_post.clone();
-            let lp = scratch.block_predictive_logpdf(&block_refs);
-            lw.push(self.state.gamma.ln() + lp);
-        }
-
-        let choice = sampling::categorical_log(rng, &lw);
-        let new_dish =
-            if choice < live_ids.len() { live_ids[choice] } else { self.state.new_dish() };
-        {
-            let FranchiseState { groups, dishes, .. } = &mut self.state;
-            let dish = dishes[new_dish].as_mut().expect("chosen dish is live");
-            for &m in &members {
-                dish.posterior.add(&groups[j][m]);
-            }
-            dish.n_tables += 1;
-        }
-        self.state.tables[j][ti].dish = new_dish;
-    }
-
-    fn resample_concentrations<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        let total_tables = self.state.total_tables();
-        let k = self.state.n_dishes();
-        if total_tables == 0 || k == 0 {
-            return;
-        }
-        self.state.gamma =
-            resample_gamma(rng, self.state.gamma, k, total_tables, self.config.gamma_prior);
-        let group_sizes: Vec<usize> = self.state.groups.iter().map(Vec::len).collect();
-        self.state.alpha = resample_alpha(
-            rng,
-            self.state.alpha,
-            total_tables,
-            &group_sizes,
-            self.config.alpha_prior,
-        );
+    /// Checkpoint the current posterior seating — tables, dishes with their
+    /// NIW sufficient statistics, and concentrations — into an immutable
+    /// [`PosteriorSnapshot`] that warm-start batch sessions clone from.
+    /// Group observations are shared with the snapshot, not copied.
+    ///
+    /// # Panics
+    /// Panics before the first `run`/`sweep`: an unseated arrangement is not
+    /// a posterior state worth freezing.
+    pub fn snapshot(&self) -> PosteriorSnapshot {
+        assert!(self.initialized, "snapshot: sampler has not run yet");
+        PosteriorSnapshot::from_parts(self.state.clone(), self.config, self.prior_post.clone())
     }
 
     // ------------------------------------------------------------------
@@ -323,38 +178,17 @@ impl Hdp {
     /// # Panics
     /// Panics before the first sweep/run or on out-of-range indices.
     pub fn dish_of(&self, group: usize, item: usize) -> DishId {
-        let ti = self.state.assignment[group][item];
-        assert!(ti != usize::MAX, "dish_of: sampler has not run yet");
-        self.state.tables[group][ti].dish
+        self.state.dish_of(group, item)
     }
 
     /// Per-dish item counts within one group, sorted by descending count.
     pub fn group_summary(&self, group: usize) -> GroupSummary {
-        let mut counts: std::collections::BTreeMap<DishId, usize> = Default::default();
-        for table in &self.state.tables[group] {
-            *counts.entry(table.dish).or_insert(0) += table.members.len();
-        }
-        let mut dish_counts: Vec<(DishId, usize)> = counts.into_iter().collect();
-        dish_counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        GroupSummary {
-            group,
-            n_items: self.state.groups[group].len(),
-            n_tables: self.state.tables[group].len(),
-            dish_counts,
-        }
+        self.state.group_summary(group)
     }
 
     /// Summaries of every live dish, sorted by id.
     pub fn dish_summaries(&self) -> Vec<DishSummary> {
-        self.state
-            .live_dishes()
-            .map(|(id, d)| DishSummary {
-                id,
-                n_tables: d.n_tables,
-                n_items: d.posterior.count(),
-                mean: d.posterior.mean().to_vec(),
-            })
-            .collect()
+        self.state.dish_summaries()
     }
 
     /// Posterior predictive log-density of a point under one dish.
@@ -365,10 +199,7 @@ impl Hdp {
     /// Joint log marginal likelihood of all data given the current seating
     /// (sum of per-dish closed-form marginals) — a convergence diagnostic.
     pub fn joint_log_likelihood(&self) -> f64 {
-        self.state
-            .live_dishes()
-            .map(|(_, d)| d.posterior.log_marginal(&self.state.params))
-            .sum()
+        self.state.joint_log_likelihood()
     }
 
     /// Exhaustive state audit (tests run this after every sweep).
@@ -557,6 +388,14 @@ mod tests {
         let hdp =
             Hdp::new(niw(2, 1.0), test_config(1), vec![vec![vec![0.0, 0.0]]]).unwrap();
         let _ = hdp.dish_of(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot: sampler has not run yet")]
+    fn snapshot_requires_a_run() {
+        let hdp =
+            Hdp::new(niw(2, 1.0), test_config(1), vec![vec![vec![0.0, 0.0]]]).unwrap();
+        let _ = hdp.snapshot();
     }
 
     #[test]

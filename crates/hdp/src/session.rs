@@ -1,0 +1,405 @@
+//! Fit-once / serve-many: checkpointing a converged sampler and serving
+//! warm-start batch sessions from it.
+//!
+//! The paper's method is transductive — every test batch is co-clustered
+//! with the full training set, so serving `B` batches cold costs
+//! `B × iterations × (N_train + N_batch)` seating moves. A
+//! [`PosteriorSnapshot`] freezes the converged training arrangement once;
+//! each [`BatchSession`] then clones the snapshot (sharing the training
+//! observations behind `Arc`s), appends *only* its test group, and reseats
+//! just that group for a handful of sweeps. Per batch the cost drops to
+//! `O(sweeps × N_batch)` seating moves against the frozen training
+//! posterior.
+//!
+//! What stays frozen and what moves:
+//!
+//! * **Frozen**: training seating (tables and assignments of every training
+//!   group), hence also every training group's subclass composition.
+//! * **Warm-started**: concentrations γ/α₀ (they continue from their
+//!   converged values and keep being resampled), dish sufficient statistics
+//!   (batch items joining a dish update its NIW posterior inside the
+//!   session's private clone — the collective, transductive part).
+//! * **Re-sampled per batch**: the batch group's tables, its items' dish
+//!   memberships, and any brand-new dishes the batch nucleates.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use osr_stats::{NiwParams, NiwPosterior};
+
+use crate::sampler::validate_group;
+use crate::state::{DishId, DishSummary, GroupSummary, HdpConfig, HdpState};
+use crate::{Hdp, Result};
+
+/// An immutable checkpoint of a converged sampler: the seating arrangement,
+/// every dish's NIW sufficient statistics, and the concentrations.
+///
+/// Produced by [`Hdp::snapshot`]; consumed by [`PosteriorSnapshot::session`]
+/// (warm-start serving) and [`PosteriorSnapshot::restore`] (resume full
+/// sampling). Cloning is cheap in the data dimension: group observations
+/// are shared, only bookkeeping and O(K·d²) dish statistics are copied.
+#[derive(Debug, Clone)]
+pub struct PosteriorSnapshot {
+    state: HdpState,
+    config: HdpConfig,
+    prior_post: NiwPosterior,
+}
+
+impl PosteriorSnapshot {
+    pub(crate) fn from_parts(
+        state: HdpState,
+        config: HdpConfig,
+        prior_post: NiwPosterior,
+    ) -> Self {
+        Self { state, config, prior_post }
+    }
+
+    /// Number of (training) groups in the checkpoint.
+    pub fn n_groups(&self) -> usize {
+        self.state.groups.len()
+    }
+
+    /// Number of live dishes.
+    pub fn n_dishes(&self) -> usize {
+        self.state.n_dishes()
+    }
+
+    /// Total number of tables across all groups (`m_··`).
+    pub fn total_tables(&self) -> usize {
+        self.state.total_tables()
+    }
+
+    /// Checkpointed top-level concentration γ.
+    pub fn gamma(&self) -> f64 {
+        self.state.gamma
+    }
+
+    /// Checkpointed group-level concentration α₀.
+    pub fn alpha(&self) -> f64 {
+        self.state.alpha
+    }
+
+    /// The base-measure parameters.
+    pub fn params(&self) -> &NiwParams {
+        &self.state.params
+    }
+
+    /// The sampler configuration the checkpoint was taken under.
+    pub fn config(&self) -> &HdpConfig {
+        &self.config
+    }
+
+    /// Dish explaining item `i` of group `j` in the frozen arrangement.
+    pub fn dish_of(&self, group: usize, item: usize) -> DishId {
+        self.state.dish_of(group, item)
+    }
+
+    /// Per-dish item counts within one group, sorted by descending count.
+    pub fn group_summary(&self, group: usize) -> GroupSummary {
+        self.state.group_summary(group)
+    }
+
+    /// Summaries of every live dish, sorted by id.
+    pub fn dish_summaries(&self) -> Vec<DishSummary> {
+        self.state.dish_summaries()
+    }
+
+    /// Joint log marginal likelihood of the frozen state.
+    pub fn joint_log_likelihood(&self) -> f64 {
+        self.state.joint_log_likelihood()
+    }
+
+    /// Rebuild a full sampler from the checkpoint (the inverse of
+    /// [`Hdp::snapshot`]): the restored sampler continues sweeping *all*
+    /// groups from the frozen arrangement.
+    pub fn restore(&self) -> Hdp {
+        Hdp::from_parts(self.state.clone(), self.config, self.prior_post.clone())
+    }
+
+    /// Open a warm serving session: clone the checkpoint, append `batch` as
+    /// one more group, and return a session that reseats only that group.
+    ///
+    /// # Errors
+    /// Rejects an empty batch, dimension mismatches against the base
+    /// measure, and non-finite values.
+    pub fn session(&self, batch: Vec<Vec<f64>>) -> Result<BatchSession> {
+        let batch_group = self.state.groups.len();
+        validate_group(batch_group, &batch, self.state.params.dim())?;
+        let mut state = self.state.clone();
+        state.assignment.push(vec![usize::MAX; batch.len()]);
+        state.tables.push(Vec::new());
+        state.groups.push(Arc::new(batch));
+        Ok(BatchSession {
+            state,
+            config: self.config,
+            prior_post: self.prior_post.clone(),
+            batch_group,
+            initialized: false,
+        })
+    }
+}
+
+/// One warm-start serving session: a private clone of a
+/// [`PosteriorSnapshot`] with a single test batch appended as the last
+/// group. Sweeps reseat only the batch group — training items never move,
+/// training tables never empty, so the checkpointed class structure is
+/// invariant while the batch still enjoys the full collective decision
+/// (its points may join training dishes or nucleate new ones).
+#[derive(Debug, Clone)]
+pub struct BatchSession {
+    state: HdpState,
+    config: HdpConfig,
+    prior_post: NiwPosterior,
+    batch_group: usize,
+    initialized: bool,
+}
+
+impl BatchSession {
+    /// Index of the batch group (training groups are `0..batch_group`).
+    pub fn batch_group(&self) -> usize {
+        self.batch_group
+    }
+
+    /// Number of points in the batch.
+    pub fn batch_len(&self) -> usize {
+        self.state.groups[self.batch_group].len()
+    }
+
+    /// One warm Gibbs sweep over the batch group only: reseat every batch
+    /// item (Eq. 7), resample every batch table's dish (Eq. 8), then the
+    /// concentrations. The first call runs a sequential CRF seating pass
+    /// first, exactly like [`Hdp::run`] does for the full problem.
+    pub fn sweep<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.ensure_initialized(rng);
+        self.state.seat_group_items(&self.prior_post, self.batch_group, rng);
+        self.state.resample_group_dishes(&self.prior_post, self.batch_group, rng);
+        if self.config.resample_concentrations {
+            self.state.resample_concentrations(&self.config, rng);
+        }
+    }
+
+    /// Run `sweeps` warm sweeps (the short `decision_sweeps` schedule of
+    /// the serving layer).
+    pub fn run<R: Rng + ?Sized>(&mut self, sweeps: usize, rng: &mut R) {
+        for _ in 0..sweeps {
+            self.sweep(rng);
+        }
+    }
+
+    fn ensure_initialized<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        if self.initialized {
+            return;
+        }
+        self.initialized = true;
+        self.state.seat_group_items(&self.prior_post, self.batch_group, rng);
+    }
+
+    /// Dish currently explaining batch item `i`.
+    ///
+    /// # Panics
+    /// Panics before the first sweep.
+    pub fn dish_of(&self, item: usize) -> DishId {
+        self.state.dish_of(self.batch_group, item)
+    }
+
+    /// Number of live dishes (shared training dishes plus any the batch
+    /// nucleated).
+    pub fn n_dishes(&self) -> usize {
+        self.state.n_dishes()
+    }
+
+    /// Current top-level concentration γ.
+    pub fn gamma(&self) -> f64 {
+        self.state.gamma
+    }
+
+    /// Current group-level concentration α₀.
+    pub fn alpha(&self) -> f64 {
+        self.state.alpha
+    }
+
+    /// Per-dish item counts within one group (training or batch), sorted by
+    /// descending count.
+    pub fn group_summary(&self, group: usize) -> GroupSummary {
+        self.state.group_summary(group)
+    }
+
+    /// Summaries of every live dish, sorted by id.
+    pub fn dish_summaries(&self) -> Vec<DishSummary> {
+        self.state.dish_summaries()
+    }
+
+    /// Joint log marginal likelihood of the session's current state.
+    pub fn joint_log_likelihood(&self) -> f64 {
+        self.state.joint_log_likelihood()
+    }
+
+    /// Exhaustive state audit (tests run this after sweeps).
+    ///
+    /// # Panics
+    /// Panics on any bookkeeping inconsistency.
+    pub fn check_invariants(&self) {
+        if self.initialized {
+            self.state.check_invariants();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osr_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn niw(d: usize) -> NiwParams {
+        NiwParams::new(vec![0.0; d], 1.0, d as f64 + 3.0, Matrix::identity(d)).unwrap()
+    }
+
+    fn blob(rng: &mut StdRng, center: &[f64], n: usize, std: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                center
+                    .iter()
+                    .map(|&c| c + std * osr_stats::sampling::standard_normal(rng))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn config() -> HdpConfig {
+        HdpConfig {
+            gamma_prior: (2.0, 1.0),
+            alpha_prior: (2.0, 1.0),
+            resample_concentrations: true,
+            iterations: 10,
+        }
+    }
+
+    /// Two well-separated training groups, converged.
+    fn trained(rng: &mut StdRng) -> Hdp {
+        let g1 = blob(rng, &[-6.0, 0.0], 40, 0.5);
+        let g2 = blob(rng, &[6.0, 0.0], 40, 0.5);
+        let mut hdp = Hdp::new(niw(2), config(), vec![g1, g2]).unwrap();
+        hdp.run(rng);
+        hdp
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_preserves_the_arrangement() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hdp = trained(&mut rng);
+        let snap = hdp.snapshot();
+        let restored = snap.restore();
+        restored.check_invariants();
+        assert_eq!(restored.n_dishes(), hdp.n_dishes());
+        assert_eq!(restored.total_tables(), hdp.total_tables());
+        for j in 0..2 {
+            for i in 0..40 {
+                assert_eq!(restored.dish_of(j, i), hdp.dish_of(j, i));
+            }
+        }
+        // The restored sampler is live: it can keep sweeping.
+        let mut resumed = snap.restore();
+        resumed.sweep(&mut rng);
+        resumed.check_invariants();
+    }
+
+    #[test]
+    fn snapshot_shares_training_observations() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hdp = trained(&mut rng);
+        let snap = hdp.snapshot();
+        let sess = snap.session(vec![vec![0.0, 0.0]]).unwrap();
+        // Snapshot, its clones, and sessions all point at the same group
+        // buffers — no deep copy of the training set anywhere.
+        assert!(Arc::ptr_eq(&snap.state.groups[0], &snap.clone().state.groups[0]));
+        assert!(Arc::ptr_eq(&snap.state.groups[0], &sess.state.groups[0]));
+        assert!(Arc::ptr_eq(&snap.state.groups[1], &sess.state.groups[1]));
+    }
+
+    #[test]
+    fn warm_session_leaves_training_seating_frozen() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hdp = trained(&mut rng);
+        let snap = hdp.snapshot();
+        let batch = blob(&mut rng, &[-6.0, 0.0], 15, 0.5);
+        let mut sess = snap.session(batch).unwrap();
+        sess.run(5, &mut rng);
+        sess.check_invariants();
+        // Training composition is bit-identical to the checkpoint.
+        for j in 0..2 {
+            let before = snap.group_summary(j);
+            let after = sess.group_summary(j);
+            assert_eq!(before.dish_counts, after.dish_counts, "group {j} moved");
+            assert_eq!(before.n_tables, after.n_tables);
+        }
+    }
+
+    #[test]
+    fn batch_near_a_training_class_joins_its_dish() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hdp = trained(&mut rng);
+        let snap = hdp.snapshot();
+        let dominant = snap.group_summary(0).dish_counts[0].0;
+        let batch = blob(&mut rng, &[-6.0, 0.0], 20, 0.5);
+        let mut sess = snap.session(batch).unwrap();
+        sess.run(3, &mut rng);
+        let on_dominant =
+            (0..20).filter(|&i| sess.dish_of(i) == dominant).count();
+        assert!(on_dominant >= 16, "only {on_dominant}/20 joined the training dish");
+    }
+
+    #[test]
+    fn far_away_batch_nucleates_a_new_dish() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hdp = trained(&mut rng);
+        let snap = hdp.snapshot();
+        let training_dishes: std::collections::HashSet<DishId> =
+            snap.dish_summaries().iter().map(|d| d.id).collect();
+        let batch = blob(&mut rng, &[0.0, 9.0], 20, 0.5);
+        let mut sess = snap.session(batch).unwrap();
+        sess.run(3, &mut rng);
+        sess.check_invariants();
+        let new_points = (0..20)
+            .filter(|&i| !training_dishes.contains(&sess.dish_of(i)))
+            .count();
+        assert!(new_points >= 16, "only {new_points}/20 left the training dishes");
+        assert!(sess.n_dishes() > training_dishes.len());
+    }
+
+    #[test]
+    fn session_is_deterministic_under_seed() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hdp = trained(&mut rng);
+        let snap = hdp.snapshot();
+        let batch = blob(&mut rng, &[-6.0, 1.0], 10, 0.6);
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sess = snap.session(batch.clone()).unwrap();
+            sess.run(4, &mut rng);
+            (0..10).map(|i| sess.dish_of(i)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn session_rejects_bad_batches() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let hdp = trained(&mut rng);
+        let snap = hdp.snapshot();
+        assert!(snap.session(vec![]).is_err());
+        assert!(snap.session(vec![vec![1.0]]).is_err());
+        assert!(snap.session(vec![vec![f64::INFINITY, 0.0]]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "has not run yet")]
+    fn session_dish_of_requires_a_sweep() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let hdp = trained(&mut rng);
+        let sess = hdp.snapshot().session(vec![vec![0.0, 0.0]]).unwrap();
+        let _ = sess.dish_of(0);
+    }
+}

@@ -1,5 +1,13 @@
 //! Bookkeeping state of the Chinese Restaurant Franchise: groups, tables,
 //! dishes, and the sufficient statistics each dish carries.
+//!
+//! [`HdpState`] is the single source of truth the seating engine
+//! (`engine.rs`) mutates. Group observations sit behind `Arc`s, so cloning a
+//! state — the heart of warm-start serving, see
+//! [`crate::PosteriorSnapshot`] — copies seating bookkeeping and dish
+//! statistics but *shares* the data points.
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -74,13 +82,15 @@ pub(crate) struct Dish {
     pub n_tables: usize,
 }
 
-/// The full mutable franchise state.
+/// The full mutable franchise state the seating engine operates on.
 #[derive(Debug, Clone)]
-pub(crate) struct FranchiseState {
+pub(crate) struct HdpState {
     /// Base measure H.
     pub params: NiwParams,
-    /// Item data, owned: `groups[j][i]` is observation `x_ji`.
-    pub groups: Vec<Vec<Vec<f64>>>,
+    /// Item data: `groups[j][i]` is observation `x_ji`. Each group is held
+    /// behind an `Arc` so that snapshot/session clones share the points
+    /// instead of deep-copying them; the engine never mutates observations.
+    pub groups: Vec<Arc<Vec<Vec<f64>>>>,
     /// `assignment[j][i]` = index into `tables[j]` (usize::MAX = unseated,
     /// only during initialization).
     pub assignment: Vec<Vec<usize>>,
@@ -95,7 +105,7 @@ pub(crate) struct FranchiseState {
     pub alpha: f64,
 }
 
-impl FranchiseState {
+impl HdpState {
     /// Total number of occupied tables across restaurants (`m_··`).
     pub fn total_tables(&self) -> usize {
         self.tables.iter().map(Vec::len).sum()
@@ -143,6 +153,50 @@ impl FranchiseState {
         if empty {
             self.dishes[id] = None;
         }
+    }
+
+    /// Dish currently explaining item `i` of group `j`.
+    ///
+    /// # Panics
+    /// Panics when the item is unseated or indices are out of range.
+    pub fn dish_of(&self, group: usize, item: usize) -> DishId {
+        let ti = self.assignment[group][item];
+        assert!(ti != usize::MAX, "dish_of: sampler has not run yet");
+        self.tables[group][ti].dish
+    }
+
+    /// Per-dish item counts within one group, sorted by descending count.
+    pub fn group_summary(&self, group: usize) -> GroupSummary {
+        let mut counts: std::collections::BTreeMap<DishId, usize> = Default::default();
+        for table in &self.tables[group] {
+            *counts.entry(table.dish).or_insert(0) += table.members.len();
+        }
+        let mut dish_counts: Vec<(DishId, usize)> = counts.into_iter().collect();
+        dish_counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        GroupSummary {
+            group,
+            n_items: self.groups[group].len(),
+            n_tables: self.tables[group].len(),
+            dish_counts,
+        }
+    }
+
+    /// Summaries of every live dish, sorted by id.
+    pub fn dish_summaries(&self) -> Vec<DishSummary> {
+        self.live_dishes()
+            .map(|(id, d)| DishSummary {
+                id,
+                n_tables: d.n_tables,
+                n_items: d.posterior.count(),
+                mean: d.posterior.mean().to_vec(),
+            })
+            .collect()
+    }
+
+    /// Joint log marginal likelihood of all data given the current seating
+    /// (sum of per-dish closed-form marginals) — a convergence diagnostic.
+    pub fn joint_log_likelihood(&self) -> f64 {
+        self.live_dishes().map(|(_, d)| d.posterior.log_marginal(&self.params)).sum()
     }
 
     /// Exhaustive O(n) consistency audit; used by tests after every sweep.
@@ -225,10 +279,10 @@ mod tests {
         NiwParams::new(vec![0.0, 0.0], 1.0, 4.0, Matrix::identity(2)).unwrap()
     }
 
-    fn empty_state() -> FranchiseState {
-        FranchiseState {
+    fn empty_state() -> HdpState {
+        HdpState {
             params: params(),
-            groups: vec![vec![vec![0.0, 0.0], vec![1.0, 1.0]]],
+            groups: vec![Arc::new(vec![vec![0.0, 0.0], vec![1.0, 1.0]])],
             assignment: vec![vec![usize::MAX, usize::MAX]],
             tables: vec![vec![]],
             dishes: vec![],
@@ -283,6 +337,16 @@ mod tests {
         s.assignment[0] = vec![0, 0];
         s.check_invariants();
         assert_eq!(s.total_tables(), 1);
+    }
+
+    #[test]
+    fn cloned_state_shares_group_data() {
+        let s = empty_state();
+        let c = s.clone();
+        assert!(
+            Arc::ptr_eq(&s.groups[0], &c.groups[0]),
+            "state clones must share observations, not deep-copy them"
+        );
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Locking primitives for the `hdp-osr` workspace.
+//!
+//! Self-contained stand-in for the subset of the `parking_lot 0.12` API the
+//! workspace uses (`Mutex` with an infallible `lock`). The build environment
+//! has no access to crates.io, so the real `parking_lot` cannot be fetched;
+//! the shim wraps [`std::sync::Mutex`] and matches parking_lot's signature by
+//! ignoring lock poisoning — a poisoned mutex's data is still returned, which
+//! is parking_lot's (poison-free) behavior.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+/// Guard returned by [`Mutex::lock`]; releases the lock on drop.
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A mutual-exclusion lock with parking_lot's panic-free `lock` signature.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap a value in a mutex.
+    pub fn new(value: T) -> Self {
+        Self { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Acquire the lock, blocking until available. Unlike
+    /// [`std::sync::Mutex::lock`] this never fails: a poisoned lock (a
+    /// holder panicked) still yields the data, as in parking_lot.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Consume the mutex and return the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Mutably borrow the inner value (no locking needed: `&mut self` proves
+    /// exclusive access).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_roundtrip() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn contended_increments_all_land() {
+        let m = Mutex::new(0usize);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4000);
+    }
+}

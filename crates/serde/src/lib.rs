@@ -1,0 +1,333 @@
+//! Serialization substrate for the `hdp-osr` workspace.
+//!
+//! This crate is a self-contained stand-in for the subset of the `serde 1.x`
+//! API the workspace uses. The build environment has no access to crates.io,
+//! so the real `serde` cannot be fetched; shipping a local shim under the
+//! same package name keeps every `use serde::…` and
+//! `#[derive(Serialize, Deserialize)]` in the workspace unchanged.
+//!
+//! Instead of serde's visitor machinery, the shim routes everything through
+//! one concrete self-describing tree, [`Value`]: serialization lowers a type
+//! into a `Value`, deserialization lifts a `Value` back. `serde_json` (also
+//! vendored) renders `Value` to JSON text and parses it back, so round-trips
+//! are real — the derive macros generate genuine field-by-field code, not
+//! no-ops. Enum representation follows serde's externally-tagged default.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialization tree — the common currency between
+/// [`Serialize`], [`Deserialize`] and the `serde_json` front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also the encoding of `Option::None` and non-finite floats).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Any number; integers are stored exactly up to 2⁵³.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Sequence (`Vec`, tuples).
+    Arr(Vec<Value>),
+    /// Map with insertion-ordered string keys (structs, tagged enum variants).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the object entries if this is an [`Value::Obj`].
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Self::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrow the elements if this is an [`Value::Arr`].
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Self::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Look up a key in an [`Value::Obj`].
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_obj()?.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Types that can lower themselves into a [`Value`].
+pub trait Serialize {
+    /// Lower into the serialization tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can lift themselves back out of a [`Value`].
+pub trait Deserialize: Sized {
+    /// Lift from the serialization tree.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] when the tree's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization failure: what was expected and what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Build an error describing the expected shape.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        let found = match found {
+            Value::Null => "null".to_string(),
+            Value::Bool(_) => "a boolean".to_string(),
+            Value::Num(n) => format!("number {n}"),
+            Value::Str(s) => format!("string {s:?}"),
+            Value::Arr(a) => format!("an array of {}", a.len()),
+            Value::Obj(o) => format!("an object of {}", o.len()),
+        };
+        Self(format!("expected {what}, found {found}"))
+    }
+
+    /// Build an error from a plain message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Self(m.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Fetch and decode one struct field from an object's entries.
+///
+/// A missing key is an error, as in the real serde derive (even for `Option`
+/// fields — the shim's `Serialize` always writes them, as `null` for `None`,
+/// so round-trips never hit this).
+///
+/// # Errors
+/// Fails on a missing key or propagates the field type's [`Deserialize`]
+/// failure.
+pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, DeError> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::from_value(v).map_err(|e| DeError::msg(format!("field `{name}`: {e}")))
+        }
+        None => Err(DeError::msg(format!("missing field `{name}`"))),
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("a boolean", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("a string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    // JSON has no NaN/∞ literal; serialization emits null.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeError::expected("a number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) if n.fract() == 0.0 => {
+                        let min = <$t>::MIN as f64;
+                        let max = <$t>::MAX as f64;
+                        if *n >= min && *n <= max {
+                            Ok(*n as $t)
+                        } else {
+                            Err(DeError::msg(format!(
+                                "integer {n} out of range for {}",
+                                stringify!($t)
+                            )))
+                        }
+                    }
+                    other => Err(DeError::expected("an integer", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("an array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = [$($n),+].len();
+                match v {
+                    Value::Arr(items) if items.len() == LEN => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(DeError::expected("a fixed-length array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(usize::from_value(&7usize.to_value()).unwrap(), 7);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn option_null_roundtrip() {
+        let none: Option<f64> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<f64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<f64>::from_value(&Value::Num(2.0)).unwrap(), Some(2.0));
+    }
+
+    #[test]
+    fn tuples_and_vecs_roundtrip() {
+        let x = vec![(1usize, 2.5f64), (3, 4.5)];
+        let v = x.to_value();
+        assert_eq!(Vec::<(usize, f64)>::from_value(&v).unwrap(), x);
+        let t = (1usize, 2usize, 0.5f64);
+        assert_eq!(<(usize, usize, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn integer_range_is_checked() {
+        assert!(u8::from_value(&Value::Num(300.0)).is_err());
+        assert!(u32::from_value(&Value::Num(1.5)).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_an_error_but_null_decodes_none() {
+        let entries: Vec<(String, Value)> = vec![];
+        assert!(field::<Option<f64>>(&entries, "gamma").is_err());
+        assert!(field::<f64>(&entries, "gamma").is_err());
+        let with_null = vec![("gamma".to_string(), Value::Null)];
+        let got: Option<f64> = field(&with_null, "gamma").unwrap();
+        assert_eq!(got, None);
+    }
+}

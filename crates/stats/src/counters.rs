@@ -1,0 +1,48 @@
+//! Process-wide instrumentation counters.
+//!
+//! The posterior predictive ([`crate::NiwPosterior::predictive_logpdf`]) is
+//! the single hottest call of the whole reproduction — every CRF seating
+//! decision evaluates it once per live dish. The harness reports this count
+//! next to wall-clock numbers so serving-path optimizations (warm-start
+//! batch sessions vs cold transductive runs) can be compared in units that
+//! do not depend on the machine.
+//!
+//! Counters are relaxed atomics: cheap enough for the sampler's inner loop,
+//! exact under any thread interleaving. They are process-global, so callers
+//! measuring a specific region should record a before/after delta rather
+//! than resetting (other threads may be sampling concurrently).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PREDICTIVE_LOGPDF_CALLS: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+pub(crate) fn record_predictive_logpdf() {
+    PREDICTIVE_LOGPDF_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total posterior-predictive evaluations since process start (or the last
+/// [`reset_predictive_logpdf_calls`]).
+pub fn predictive_logpdf_calls() -> u64 {
+    PREDICTIVE_LOGPDF_CALLS.load(Ordering::Relaxed)
+}
+
+/// Reset the predictive-call counter to zero. Prefer before/after deltas in
+/// code that may share the process with other sampling threads.
+pub fn reset_predictive_logpdf_calls() {
+    PREDICTIVE_LOGPDF_CALLS.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_monotone_under_records() {
+        let before = predictive_logpdf_calls();
+        for _ in 0..3 {
+            record_predictive_logpdf();
+        }
+        assert!(predictive_logpdf_calls() >= before + 3);
+    }
+}

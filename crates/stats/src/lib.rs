@@ -17,11 +17,14 @@
 //!   i.e. the statistical extreme-value-theory machinery behind the W-SVM,
 //!   W-OSVM and P_I-SVM baselines,
 //! * [`descriptive`] — means, standard deviations and quantiles for the
-//!   experiment reports.
+//!   experiment reports,
+//! * [`counters`] — process-wide relaxed-atomic instrumentation (predictive
+//!   evaluation counts) surfaced by the benchmark harness.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod counters;
 pub mod descriptive;
 pub mod mvn;
 pub mod niw;
@@ -29,7 +32,7 @@ pub mod sampling;
 pub mod special;
 pub mod weibull;
 
-pub use niw::{NiwParams, NiwPosterior};
+pub use niw::{factor_spd_with_jitter, NiwParams, NiwPosterior};
 pub use weibull::{Weibull, WeibullFit};
 
 /// Errors produced by the statistical routines.

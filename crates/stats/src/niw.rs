@@ -207,8 +207,9 @@ impl NiwPosterior {
             let mut psi = self.psi_chol.reconstruct();
             psi.syr(-1.0, &dir);
             psi.symmetrize();
-            self.psi_chol = factor_with_jitter(&psi)
-                .expect("Ψ after legitimate removal must be SPD up to jitter");
+            self.psi_chol = factor_spd_with_jitter(&psi)
+                .expect("Ψ after legitimate removal must be SPD up to jitter")
+                .0;
         }
         self.mu = mu_new;
         self.kappa = kappa_new;
@@ -219,6 +220,7 @@ impl NiwPosterior {
     /// Posterior predictive log-density at `x`: multivariate Student-t with
     /// `df = νₙ − d + 1`, location μₙ, scale `Ψₙ (κₙ + 1) / (κₙ df)`.
     pub fn predictive_logpdf(&self, x: &[f64]) -> f64 {
+        crate::counters::record_predictive_logpdf();
         let d = self.dim() as f64;
         let df = self.nu - d + 1.0;
         let scale = (self.kappa + 1.0) / (self.kappa * df);
@@ -271,9 +273,18 @@ impl NiwPosterior {
 
 /// Factor an SPD-up-to-roundoff matrix, adding exponentially growing jitter
 /// to the diagonal when plain factorization fails.
-fn factor_with_jitter(a: &Matrix) -> std::result::Result<Cholesky, LinalgError> {
+///
+/// Returns the factor together with the jitter that had to be added (`0.0`
+/// when the matrix factorized as-is), so callers that need the *matrix* —
+/// not just its factor — can apply the same repair (e.g. building
+/// [`NiwParams`] from a rank-deficient pooled covariance).
+///
+/// # Errors
+/// Fails when no jitter up to `1e7 ×` the mean diagonal magnitude makes the
+/// matrix factorizable (non-finite entries, in practice).
+pub fn factor_spd_with_jitter(a: &Matrix) -> std::result::Result<(Cholesky, f64), LinalgError> {
     match Cholesky::factor(a) {
-        Ok(c) => Ok(c),
+        Ok(c) => Ok((c, 0.0)),
         Err(_) => {
             let scale = a.trace().abs().max(1e-300) / a.rows() as f64;
             let mut jitter = 1e-12 * scale;
@@ -283,7 +294,7 @@ fn factor_with_jitter(a: &Matrix) -> std::result::Result<Cholesky, LinalgError> 
                     aj[(i, i)] += jitter;
                 }
                 if let Ok(c) = Cholesky::factor(&aj) {
-                    return Ok(c);
+                    return Ok((c, jitter));
                 }
                 jitter *= 10.0;
             }
@@ -478,5 +489,69 @@ mod tests {
         let p = params2();
         let mut post = NiwPosterior::from_prior(&p);
         post.remove(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn jitter_factor_passes_spd_through_unchanged() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.3], vec![0.3, 1.5]]);
+        let (c, jitter) = factor_spd_with_jitter(&a).unwrap();
+        assert_eq!(jitter, 0.0, "SPD input must not be jittered");
+        let plain = Cholesky::factor(&a).unwrap();
+        assert!((c.log_det() - plain.log_det()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_factor_repairs_rank_deficient_matrix() {
+        // vv' is rank 1 in 3-d: plain factorization must fail, escalating
+        // jitter must repair it with a small perturbation.
+        let v = [1.0, -2.0, 0.5];
+        let mut a = Matrix::zeros(3, 3);
+        a.syr(1.0, &v);
+        a.symmetrize();
+        assert!(Cholesky::factor(&a).is_err());
+        let (c, jitter) = factor_spd_with_jitter(&a).unwrap();
+        assert!(jitter > 0.0);
+        // The repair is tiny relative to the matrix scale…
+        assert!(jitter < 1e-3 * a.trace() / 3.0, "jitter {jitter} too large");
+        // …and the returned factor reconstructs the jittered matrix.
+        let rec = c.reconstruct();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = a[(i, j)] + if i == j { jitter } else { 0.0 };
+                assert!((rec[(i, j)] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_escalates_until_factorization_succeeds() {
+        // A matrix needing more than the first jitter step: rank-1 with a
+        // slightly *negative* eigenvalue direction mixed in.
+        let v = [1.0, 1.0];
+        let mut a = Matrix::zeros(2, 2);
+        a.syr(1.0, &v);
+        a[(0, 0)] -= 1e-9;
+        a.symmetrize();
+        let (_, jitter) = factor_spd_with_jitter(&a).unwrap();
+        // The escalation scale is trace-relative, so allow a hair under 1e-9.
+        assert!(jitter >= 0.9e-9, "needed at least the negative-bump scale, got {jitter}");
+    }
+
+    #[test]
+    fn jitter_factor_rejects_non_finite_input() {
+        let a = Matrix::from_rows(&[vec![f64::NAN, 0.0], vec![0.0, 1.0]]);
+        assert!(factor_spd_with_jitter(&a).is_err());
+    }
+
+    #[test]
+    fn predictive_calls_are_counted() {
+        let p = params2();
+        let post = NiwPosterior::from_prior(&p);
+        // Other tests may run concurrently, so only the lower bound is exact.
+        let before = crate::counters::predictive_logpdf_calls();
+        for _ in 0..5 {
+            let _ = post.predictive_logpdf(&[0.1, 0.2]);
+        }
+        assert!(crate::counters::predictive_logpdf_calls() - before >= 5);
     }
 }

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, the complete test suite, and a
+# warnings-as-errors clippy pass over every workspace crate (including the
+# vendored dependency shims).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+
+echo "verify: build + tests + clippy all green"
