@@ -137,25 +137,36 @@ impl Options {
 pub struct ServingStats {
     started: std::time::Instant,
     calls_before: u64,
+    retries_before: u64,
+    degraded_before: u64,
 }
 
 impl ServingStats {
-    /// Begin measuring: stamp the clock and the predictive-call counter.
+    /// Begin measuring: stamp the clock and the serving counters
+    /// (predictive calls, serve retries, degraded batches).
     pub fn start() -> Self {
         Self {
             started: std::time::Instant::now(),
             calls_before: osr_stats::counters::predictive_logpdf_calls(),
+            retries_before: osr_stats::counters::serve_retries(),
+            degraded_before: osr_stats::counters::degraded_batches(),
         }
     }
 
-    /// Print `label: N batches in S s (B batches/sec), C predictive calls`.
+    /// Print `label: N batches in S s (B batches/sec), C predictive calls`,
+    /// plus the fault-tolerance deltas (retries, degraded batches) so a
+    /// run that silently fell back to frozen inference is visible in the
+    /// benchmark log.
     pub fn report(&self, label: &str, n_batches: usize) {
         let secs = self.started.elapsed().as_secs_f64();
         let calls = osr_stats::counters::predictive_logpdf_calls() - self.calls_before;
+        let retries = osr_stats::counters::serve_retries() - self.retries_before;
+        let degraded = osr_stats::counters::degraded_batches() - self.degraded_before;
         let rate = n_batches as f64 / secs.max(1e-9);
         eprintln!(
             "[{label}] served {n_batches} batch(es) in {secs:.2}s \
-             ({rate:.2} batches/sec), {calls} predictive-logpdf calls"
+             ({rate:.2} batches/sec), {calls} predictive-logpdf calls, \
+             {retries} retries, {degraded} degraded"
         );
     }
 }

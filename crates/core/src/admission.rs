@@ -1,0 +1,160 @@
+//! Admission control: validate inputs *before* any sampler state is touched.
+//!
+//! The serving stack's first line of defense. A hostile or degenerate input
+//! (NaN features, ragged dimensions, empty batches) is rejected here with a
+//! precise, typed [`OsrError`] — pointing at the offending point and
+//! coordinate — so it can never poison a Gibbs sweep, and a `BatchServer`
+//! rejects it per-slot without spending a single seating move on it.
+//! [`validate_train`] applies the same standard to `HdpOsr::fit`, including
+//! the non-finite-feature check classification always had.
+
+use osr_dataset::protocol::TrainSet;
+
+use crate::{OsrError, Result};
+
+/// Validate a test batch against the model's feature dimension.
+///
+/// # Errors
+/// [`OsrError::EmptyBatch`] for a batch with no points,
+/// [`OsrError::DimensionMismatch`] for the first point whose length differs
+/// from `expected_dim`, and [`OsrError::NonFiniteFeature`] for the first
+/// NaN/±∞ coordinate. Checks run in batch order, so the reported point is
+/// the first offender.
+pub fn validate_batch(expected_dim: usize, test: &[Vec<f64>]) -> Result<()> {
+    if test.is_empty() {
+        return Err(OsrError::EmptyBatch);
+    }
+    for (point, p) in test.iter().enumerate() {
+        if p.len() != expected_dim {
+            return Err(OsrError::DimensionMismatch {
+                point,
+                expected: expected_dim,
+                got: p.len(),
+            });
+        }
+        if let Some(coord) = p.iter().position(|v| !v.is_finite()) {
+            return Err(OsrError::NonFiniteFeature { point, coord });
+        }
+    }
+    Ok(())
+}
+
+/// Validate a training set for `HdpOsr::fit`: non-empty, consistent
+/// dimensions, every class populated, every feature finite.
+///
+/// # Errors
+/// [`OsrError::InvalidTrainingSet`] describing the first offense.
+pub fn validate_train(train: &TrainSet) -> Result<()> {
+    if train.n_classes() == 0 || train.total_points() == 0 {
+        return Err(OsrError::InvalidTrainingSet("no training data".into()));
+    }
+    let dim = train.dim();
+    if dim == 0 {
+        return Err(OsrError::InvalidTrainingSet("zero-dimensional data".into()));
+    }
+    for (c, class) in train.classes.iter().enumerate() {
+        if class.is_empty() {
+            return Err(OsrError::InvalidTrainingSet(format!("class {c} is empty")));
+        }
+        if class.iter().any(|p| p.len() != dim) {
+            return Err(OsrError::InvalidTrainingSet(format!(
+                "class {c} has inconsistent dimensions"
+            )));
+        }
+        for (i, p) in class.iter().enumerate() {
+            if let Some(coord) = p.iter().position(|v| !v.is_finite()) {
+                return Err(OsrError::InvalidTrainingSet(format!(
+                    "class {c} point {i} has a non-finite feature at coordinate {coord}"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_clean_batch() {
+        assert_eq!(validate_batch(2, &[vec![0.0, 1.0], vec![-3.5, 2.0]]), Ok(()));
+    }
+
+    #[test]
+    fn rejects_empty_batch() {
+        assert_eq!(validate_batch(2, &[]), Err(OsrError::EmptyBatch));
+    }
+
+    #[test]
+    fn reports_first_dimension_mismatch() {
+        let batch = vec![vec![0.0, 1.0], vec![0.0], vec![0.0, 1.0, 2.0]];
+        assert_eq!(
+            validate_batch(2, &batch),
+            Err(OsrError::DimensionMismatch { point: 1, expected: 2, got: 1 })
+        );
+    }
+
+    #[test]
+    fn reports_first_non_finite_feature() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let batch = vec![vec![0.0, 1.0], vec![0.0, bad]];
+            assert_eq!(
+                validate_batch(2, &batch),
+                Err(OsrError::NonFiniteFeature { point: 1, coord: 1 }),
+                "value {bad} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn accepts_a_clean_training_set() {
+        let train = TrainSet {
+            class_ids: vec![0, 1],
+            classes: vec![
+                vec![vec![0.0, 0.0], vec![1.0, 0.0]],
+                vec![vec![5.0, 5.0], vec![6.0, 5.0]],
+            ],
+        };
+        assert_eq!(validate_train(&train), Ok(()));
+    }
+
+    #[test]
+    fn rejects_nan_and_inf_training_points() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let train = TrainSet {
+                class_ids: vec![0, 1],
+                classes: vec![
+                    vec![vec![0.0, 0.0], vec![1.0, 0.0]],
+                    vec![vec![5.0, 5.0], vec![6.0, bad]],
+                ],
+            };
+            let err = validate_train(&train).unwrap_err();
+            match err {
+                OsrError::InvalidTrainingSet(msg) => {
+                    assert!(msg.contains("class 1 point 1"), "message was: {msg}");
+                    assert!(msg.contains("coordinate 1"), "message was: {msg}");
+                }
+                other => panic!("expected InvalidTrainingSet, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_ragged_training_sets() {
+        let empty = TrainSet { class_ids: vec![], classes: vec![] };
+        assert!(matches!(validate_train(&empty), Err(OsrError::InvalidTrainingSet(_))));
+
+        let hollow = TrainSet {
+            class_ids: vec![0, 1],
+            classes: vec![vec![vec![1.0, 2.0]], vec![]],
+        };
+        assert!(matches!(validate_train(&hollow), Err(OsrError::InvalidTrainingSet(_))));
+
+        let ragged = TrainSet {
+            class_ids: vec![0],
+            classes: vec![vec![vec![1.0, 2.0], vec![1.0]]],
+        };
+        assert!(matches!(validate_train(&ragged), Err(OsrError::InvalidTrainingSet(_))));
+    }
+}

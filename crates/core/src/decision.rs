@@ -16,6 +16,65 @@ use crate::discovery::SubclassReport;
 /// [`osr_dataset::protocol::GroundTruth`] so baselines and HDP-OSR share it).
 pub use osr_dataset::protocol::Prediction;
 
+/// Why a batch was answered via degraded frozen inference instead of the
+/// full collective decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradeReason {
+    /// Every attempt allowed by the retry policy diverged.
+    RetriesExhausted,
+    /// The per-batch Gibbs sweep budget ran out mid-service.
+    SweepBudgetExceeded,
+    /// The per-batch wall-clock deadline passed mid-service.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RetriesExhausted => write!(f, "retries exhausted"),
+            Self::SweepBudgetExceeded => write!(f, "sweep budget exceeded"),
+            Self::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+/// How a [`ClassifyOutcome`] was produced — callers that care about answer
+/// quality should check for [`ServedVia::Degraded`], which marks a best-effort
+/// frozen-inference answer rather than a full collective decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServedVia {
+    /// Warm-start service: the batch was reseated against the fit-time
+    /// posterior checkpoint (the normal fast path).
+    Warm,
+    /// Cold transductive service: training and batch re-clustered from
+    /// scratch (the paper's original schedule).
+    Cold,
+    /// Degraded frozen inference: MAP dish assignment under the checkpoint,
+    /// no reseating. Produced when the fault-tolerance policy gave up on
+    /// full service for the stated reason.
+    Degraded {
+        /// Why full service was abandoned.
+        reason: DegradeReason,
+    },
+}
+
+impl ServedVia {
+    /// True for [`ServedVia::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Self::Degraded { .. })
+    }
+}
+
+impl std::fmt::Display for ServedVia {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Warm => write!(f, "warm"),
+            Self::Cold => write!(f, "cold"),
+            Self::Degraded { reason } => write!(f, "degraded ({reason})"),
+        }
+    }
+}
+
 /// Full output of [`crate::HdpOsr::classify_detailed`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClassifyOutcome {
@@ -32,6 +91,11 @@ pub struct ClassifyOutcome {
     pub alpha: f64,
     /// Joint log marginal likelihood of the final state.
     pub log_likelihood: f64,
+    /// How this outcome was produced (full service or degraded fallback).
+    pub served_via: ServedVia,
+    /// Number of serve attempts consumed, including the successful one
+    /// (`1` = no retries; degraded outcomes count the failed attempts).
+    pub attempts: u32,
 }
 
 /// Association table from dish id to the known classes using it.

@@ -286,7 +286,7 @@ mod tests {
     #[test]
     fn freeze_rejects_mismatched_outcome() {
         let (model, outcome, test, _) = setup();
-        let err = FrozenModel::freeze(&model, &outcome, &test[..3].to_vec());
+        let err = FrozenModel::freeze(&model, &outcome, &test[..3]);
         assert!(err.is_err());
     }
 

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod admission;
 mod decision;
 pub mod discovery;
 pub mod inductive;
@@ -39,16 +40,20 @@ pub mod kmeans;
 mod model;
 mod serving;
 
-pub use decision::{ClassifyOutcome, Prediction};
+pub use decision::{ClassifyOutcome, DegradeReason, Prediction, ServedVia};
 pub use discovery::SubclassReport;
 pub use inductive::FrozenModel;
 pub use kmeans::{kmeans, refine_unknown_classes, KMeansResult, RefinedUnknownClass};
 pub use model::{HdpOsr, HdpOsrConfig};
 pub use osr_hdp::PosteriorSnapshot;
-pub use serving::{derive_batch_seed, BatchServer, ServingMode};
+pub use serving::{derive_batch_seed, BatchServer, RetryPolicy, ServePolicy, ServingMode};
 
 /// Errors produced by the HDP-OSR pipeline.
+///
+/// Marked `#[non_exhaustive]`: the serving stack's failure model grows over
+/// time, so downstream matches must keep a wildcard arm.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum OsrError {
     /// The training set was unusable.
     InvalidTrainingSet(String),
@@ -56,6 +61,36 @@ pub enum OsrError {
     InvalidTestSet(String),
     /// Invalid configuration value.
     InvalidConfig(String),
+    /// Admission control: the test batch contained no points.
+    EmptyBatch,
+    /// Admission control: a test point's dimension does not match the model.
+    DimensionMismatch {
+        /// Index of the offending point within the batch.
+        point: usize,
+        /// Dimension the model expects.
+        expected: usize,
+        /// Dimension the point actually has.
+        got: usize,
+    },
+    /// Admission control: a test point carries a NaN or infinite feature.
+    NonFiniteFeature {
+        /// Index of the offending point within the batch.
+        point: usize,
+        /// Index of the offending coordinate.
+        coord: usize,
+    },
+    /// The sampler diverged on this batch and every allowed attempt was
+    /// consumed (degradation was disabled or impossible).
+    Diverged {
+        /// Serve attempts consumed, including the final failed one.
+        attempts: u32,
+        /// The watchdog's verdict for the last attempt.
+        reason: String,
+    },
+    /// A serving invariant broke — a worker panicked mid-batch or a result
+    /// slot was never claimed. The batch's state was discarded; sibling
+    /// batches are unaffected.
+    Internal(String),
     /// Propagated sampler failure.
     Hdp(osr_hdp::HdpError),
     /// Propagated statistics failure.
@@ -68,6 +103,17 @@ impl std::fmt::Display for OsrError {
             Self::InvalidTrainingSet(m) => write!(f, "invalid training set: {m}"),
             Self::InvalidTestSet(m) => write!(f, "invalid test set: {m}"),
             Self::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            Self::EmptyBatch => write!(f, "empty test batch"),
+            Self::DimensionMismatch { point, expected, got } => {
+                write!(f, "test point {point} has dimension {got}, expected {expected}")
+            }
+            Self::NonFiniteFeature { point, coord } => {
+                write!(f, "test point {point} has a non-finite feature at coordinate {coord}")
+            }
+            Self::Diverged { attempts, reason } => {
+                write!(f, "sampler diverged after {attempts} attempt(s): {reason}")
+            }
+            Self::Internal(m) => write!(f, "internal serving failure: {m}"),
             Self::Hdp(e) => write!(f, "sampler failure: {e}"),
             Self::Stats(e) => write!(f, "statistics failure: {e}"),
         }

@@ -135,27 +135,14 @@ impl HdpOsr {
     /// within-class covariance, κ₀ = β, ν = d + `nu_offset`.
     ///
     /// # Errors
-    /// Fails on an empty/degenerate training set or invalid configuration.
-    /// A rank-deficient pooled covariance is repaired with diagonal jitter.
+    /// Fails on an empty/degenerate training set (including non-finite
+    /// features — the same admission standard classification applies) or
+    /// invalid configuration. A rank-deficient pooled covariance is repaired
+    /// with diagonal jitter.
     pub fn fit(config: &HdpOsrConfig, train: &TrainSet) -> Result<Self> {
         config.validate()?;
-        if train.n_classes() == 0 || train.total_points() == 0 {
-            return Err(OsrError::InvalidTrainingSet("no training data".into()));
-        }
+        crate::admission::validate_train(train)?;
         let dim = train.dim();
-        if dim == 0 {
-            return Err(OsrError::InvalidTrainingSet("zero-dimensional data".into()));
-        }
-        for (c, class) in train.classes.iter().enumerate() {
-            if class.is_empty() {
-                return Err(OsrError::InvalidTrainingSet(format!("class {c} is empty")));
-            }
-            if class.iter().any(|p| p.len() != dim) {
-                return Err(OsrError::InvalidTrainingSet(format!(
-                    "class {c} has inconsistent dimensions"
-                )));
-            }
-        }
 
         // μ₀ = mean of the training samples.
         let all: Vec<&[f64]> = train.classes.iter().flatten().map(Vec::as_slice).collect();
@@ -421,6 +408,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         assert!(model.classify(&[], &mut rng).is_err());
         assert!(model.classify(&[vec![0.0]], &mut rng).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_non_finite_training_features() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let train = TrainSet {
+                class_ids: vec![0, 1],
+                classes: vec![
+                    vec![vec![0.0, 0.0], vec![1.0, 1.0]],
+                    vec![vec![5.0, 5.0], vec![bad, 5.0]],
+                ],
+            };
+            assert!(
+                matches!(
+                    HdpOsr::fit(&HdpOsrConfig::default(), &train),
+                    Err(OsrError::InvalidTrainingSet(_))
+                ),
+                "training value {bad} must be rejected at fit time"
+            );
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! The serving layer: fit-once/serve-many warm-start classification and a
-//! concurrent batch server.
+//! The serving layer: fit-once/serve-many warm-start classification, a
+//! concurrent batch server, and the fault-tolerance stack that keeps it
+//! answering under hostile inputs.
 //!
 //! The paper's protocol is transductive — every test batch is co-clustered
 //! with the entire training set — so the obvious implementation pays the
@@ -21,18 +22,44 @@
 //! [`ServingMode::ColdStart`] is the escape hatch reproducing the original
 //! behaviour exactly: no snapshot is kept and every batch pays the full
 //! transductive burn-in with the training groups deep-copied in.
+//!
+//! # Failure model
+//!
+//! A production batch stream is hostile: NaN features, ragged dimensions,
+//! batches whose geometry drives the sampler into numerically unrecoverable
+//! states. The server survives all of it per-slot, never per-scope:
+//!
+//! 1. **Admission** ([`crate::admission::validate_batch`]) rejects malformed
+//!    batches with typed errors before any sampler state exists.
+//! 2. **Watchdog** — every sweep of an attempt runs through
+//!    `sweep_checked`, which turns mid-sweep numerical poison (non-finite
+//!    seating weights, Cholesky failure past the jitter ladder) and
+//!    non-finite likelihood/concentrations into a typed divergence.
+//! 3. **Retry** ([`RetryPolicy`]) — a divergent attempt is re-run with the
+//!    re-derived seed `derive_batch_seed(seed, idx) ^ attempt`, up to
+//!    `max_attempts` times.
+//! 4. **Degradation** ([`ServePolicy`]) — when retries, the sweep budget,
+//!    or the deadline run out, the batch is answered by frozen inference
+//!    (MAP dish assignment under the fit-time checkpoint, no reseating) and
+//!    flagged [`ServedVia::Degraded`].
+//! 5. **Panic isolation** — each batch's service is wrapped in
+//!    `catch_unwind`, so a panicking batch yields an in-place
+//!    [`OsrError::Internal`] while sibling batches finish untouched.
 
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use osr_hdp::{GroupSummary, Hdp, PosteriorSnapshot};
+use osr_hdp::{DishId, GroupSummary, Hdp, PosteriorSnapshot};
 
-use crate::decision::{Associations, ClassifyOutcome, Prediction};
+use crate::admission;
+use crate::decision::{Associations, ClassifyOutcome, DegradeReason, Prediction, ServedVia};
 use crate::discovery::{estimate_unknown_classes, GroupSubclasses, SubclassReport};
 use crate::model::HdpOsr;
 use crate::{OsrError, Result};
@@ -51,6 +78,49 @@ pub enum ServingMode {
     /// `iterations × (N_train + N_batch) / (decision_sweeps × N_batch)`,
     /// but lets the batch reshape the training seating too.
     ColdStart,
+}
+
+/// Bounded retry for serve attempts the divergence watchdog rejects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum serve attempts per batch, including the first (clamped ≥ 1).
+    pub max_attempts: u32,
+    /// Re-derive the RNG seed per attempt as
+    /// `derive_batch_seed(seed, idx) ^ attempt`, so a retry explores a
+    /// different sampling path. With `false` every attempt replays the same
+    /// stream — useful only to reproduce a divergence deterministically.
+    pub reseed: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3, reseed: true }
+    }
+}
+
+/// The fault-tolerance policy of a [`BatchServer`]: how hard to try for a
+/// full collective decision, and what to do when that fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServePolicy {
+    /// Retry behaviour for watchdog-detected divergence.
+    pub retry: RetryPolicy,
+    /// Total Gibbs sweeps one batch may consume across all its attempts
+    /// (`None` = unlimited).
+    pub sweep_budget: Option<usize>,
+    /// Wall-clock deadline for one batch across all its attempts
+    /// (`None` = none).
+    pub deadline: Option<Duration>,
+    /// When full service fails, answer with degraded frozen inference
+    /// (MAP dish assignment under the fit-time checkpoint) instead of an
+    /// error. Requires a warm-start model — a cold model keeps no
+    /// checkpoint to freeze, so its exhausted batches error out regardless.
+    pub degrade: bool,
+}
+
+impl Default for ServePolicy {
+    fn default() -> Self {
+        Self { retry: RetryPolicy::default(), sweep_budget: None, deadline: None, degrade: true }
+    }
 }
 
 /// Everything `fit` precomputes for warm serving: the converged training
@@ -167,45 +237,115 @@ fn build_report(
     }
 }
 
-/// Serve one test batch, dispatching on how the model was fitted: warm
-/// (snapshot present) or cold (full transductive re-run).
+/// Why one serve attempt did not return a full outcome.
+enum AttemptError {
+    /// The attempt cannot succeed no matter how often it is retried.
+    Fatal(OsrError),
+    /// The watchdog declared a sweep divergent; retry may succeed.
+    Diverged(String),
+    /// The batch's wall-clock deadline passed mid-attempt.
+    DeadlineExceeded,
+    /// The batch's total sweep budget ran out mid-attempt.
+    BudgetExhausted,
+}
+
+/// Per-batch resource meter shared across that batch's attempts.
+struct ServeCtl {
+    deadline: Option<Instant>,
+    sweeps_left: Option<usize>,
+}
+
+impl ServeCtl {
+    fn new(policy: &ServePolicy) -> Self {
+        Self {
+            deadline: policy.deadline.map(|d| Instant::now() + d),
+            sweeps_left: policy.sweep_budget,
+        }
+    }
+
+    /// No deadline, no budget — the single-shot `classify` path.
+    fn unbounded() -> Self {
+        Self { deadline: None, sweeps_left: None }
+    }
+
+    /// Charge one Gibbs sweep against the batch's budget and deadline.
+    fn admit_sweep(&mut self) -> std::result::Result<(), AttemptError> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(AttemptError::DeadlineExceeded);
+            }
+        }
+        if let Some(left) = &mut self.sweeps_left {
+            if *left == 0 {
+                return Err(AttemptError::BudgetExhausted);
+            }
+            *left -= 1;
+        }
+        Ok(())
+    }
+}
+
+/// Honor an injected artificial delay at the sweep site (no-op without the
+/// `fault-inject` feature).
+fn sweep_fault_delay() {
+    #[cfg(feature = "fault-inject")]
+    if let Some(osr_stats::faults::Fault::DelayMs(ms)) =
+        osr_stats::faults::hit(osr_stats::faults::sites::SWEEP)
+    {
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+}
+
+/// Serve one test batch through a single watchdogged attempt, dispatching on
+/// how the model was fitted: warm (snapshot present) or cold (full
+/// transductive re-run). This is the `classify`/`classify_detailed` path —
+/// the caller owns the RNG, so there is no retry/degrade policy here; a
+/// divergent sweep surfaces as [`OsrError::Diverged`] with `attempts: 1`.
+/// [`BatchServer`] layers admission, retry, deadlines, and degradation on
+/// top of the same attempt functions.
 pub(crate) fn serve_batch<R: Rng + ?Sized>(
     model: &HdpOsr,
     test: &[Vec<f64>],
     rng: &mut R,
 ) -> Result<ClassifyOutcome> {
-    if test.is_empty() {
-        return Err(OsrError::InvalidTestSet("empty test batch".into()));
-    }
-    if let Some(bad) = test.iter().find(|p| p.len() != model.dim()) {
-        return Err(OsrError::InvalidTestSet(format!(
-            "test point of dimension {} (expected {})",
-            bad.len(),
-            model.dim()
-        )));
-    }
-    match model.warm() {
-        Some(warm) => serve_warm(model, warm, test, rng),
-        None => serve_cold(model, test, rng),
-    }
+    admission::validate_batch(model.dim(), test)?;
+    osr_stats::divergence::clear();
+    let mut ctl = ServeCtl::unbounded();
+    let attempt = match model.warm() {
+        Some(warm) => serve_warm_attempt(model, warm, test, rng, &mut ctl),
+        None => serve_cold_attempt(model, test, rng, &mut ctl),
+    };
+    attempt.map_err(|e| match e {
+        AttemptError::Fatal(err) => err,
+        AttemptError::Diverged(reason) => OsrError::Diverged { attempts: 1, reason },
+        AttemptError::DeadlineExceeded | AttemptError::BudgetExhausted => {
+            OsrError::Internal("unbounded serve control reported a resource breach".into())
+        }
+    })
 }
 
-/// Warm path: clone the checkpoint, append the batch, reseat only the batch
-/// for `decision_sweeps` sweeps, and vote against the precomputed
-/// association table (training seating cannot move, so the table stays
-/// valid across sweeps).
-fn serve_warm<R: Rng + ?Sized>(
+/// Warm attempt: clone the checkpoint, append the batch, reseat only the
+/// batch for `decision_sweeps` watchdogged sweeps, and vote against the
+/// precomputed association table (training seating cannot move, so the
+/// table stays valid across sweeps).
+fn serve_warm_attempt<R: Rng + ?Sized>(
     model: &HdpOsr,
     warm: &WarmState,
     test: &[Vec<f64>],
     rng: &mut R,
-) -> Result<ClassifyOutcome> {
+    ctl: &mut ServeCtl,
+) -> std::result::Result<ClassifyOutcome, AttemptError> {
     let config = model.config();
-    let mut session = warm.snapshot.session(test.to_vec())?;
+    let mut session = warm
+        .snapshot
+        .session(test.to_vec())
+        .map_err(|e| AttemptError::Fatal(e.into()))?;
 
     let mut votes: Vec<BTreeMap<Prediction, usize>> = vec![BTreeMap::new(); test.len()];
     for _ in 0..config.decision_sweeps {
-        session.sweep(rng);
+        sweep_fault_delay();
+        ctl.admit_sweep()?;
+        session.sweep_checked(rng).map_err(|d| AttemptError::Diverged(d.to_string()))?;
         for (i, vote) in votes.iter_mut().enumerate() {
             let pred = warm.assoc.decide(session.dish_of(i));
             *vote.entry(pred).or_insert(0) += 1;
@@ -230,32 +370,43 @@ fn serve_warm<R: Rng + ?Sized>(
         gamma: session.gamma(),
         alpha: session.alpha(),
         log_likelihood: session.joint_log_likelihood(),
+        served_via: ServedVia::Warm,
+        attempts: 1,
     })
 }
 
-/// Cold path ([`ServingMode::ColdStart`]): the original transductive
+/// Cold attempt ([`ServingMode::ColdStart`]): the original transductive
 /// schedule — deep-copy the training groups, append the batch, run the full
-/// burn-in, and vote over `decision_sweeps` posterior states with the
-/// association table recomputed per state (training seating moves here).
-fn serve_cold<R: Rng + ?Sized>(
+/// burn-in sweep by watchdogged sweep (the exact RNG stream of `Hdp::run`),
+/// and vote over `decision_sweeps` posterior states with the association
+/// table recomputed per state (training seating moves here).
+fn serve_cold_attempt<R: Rng + ?Sized>(
     model: &HdpOsr,
     test: &[Vec<f64>],
     rng: &mut R,
-) -> Result<ClassifyOutcome> {
+    ctl: &mut ServeCtl,
+) -> std::result::Result<ClassifyOutcome, AttemptError> {
     let config = model.config();
     let mut groups = model.classes().to_vec();
     groups.push(test.to_vec());
     let test_group = groups.len() - 1;
 
-    let mut hdp = Hdp::new(model.params().clone(), config.hdp_config(), groups)?;
-    hdp.run(rng);
+    let mut hdp = Hdp::new(model.params().clone(), config.hdp_config(), groups)
+        .map_err(|e| AttemptError::Fatal(e.into()))?;
+    for _ in 0..config.iterations {
+        sweep_fault_delay();
+        ctl.admit_sweep()?;
+        hdp.sweep_checked(rng).map_err(|d| AttemptError::Diverged(d.to_string()))?;
+    }
 
     // Collect one decision snapshot per voting sweep; the subclass report
     // always reflects the final state.
     let mut votes: Vec<BTreeMap<Prediction, usize>> = vec![BTreeMap::new(); test.len()];
     for extra in 0..config.decision_sweeps {
         if extra > 0 {
-            hdp.sweep(rng);
+            sweep_fault_delay();
+            ctl.admit_sweep()?;
+            hdp.sweep_checked(rng).map_err(|d| AttemptError::Diverged(d.to_string()))?;
         }
         let assoc = associate(config.varrho, model.n_classes(), |c| hdp.group_summary(c)).0;
         for (i, vote) in votes.iter_mut().enumerate() {
@@ -279,7 +430,64 @@ fn serve_cold<R: Rng + ?Sized>(
         gamma: hdp.gamma(),
         alpha: hdp.alpha(),
         log_likelihood: hdp.joint_log_likelihood(),
+        served_via: ServedVia::Cold,
+        attempts: 1,
     })
+}
+
+/// Degraded frozen inference: answer the batch from the checkpoint alone —
+/// MAP dish assignment under the frozen global mixture, no reseating, no
+/// RNG. Every point that the "brand-new dish" option explains best is
+/// pooled into one stand-in subclass (the snapshot's fresh pseudo-id) and
+/// predicted `Unknown`. Deterministic, O(batch × dishes), cannot diverge.
+fn serve_degraded(
+    model: &HdpOsr,
+    warm: &WarmState,
+    test: &[Vec<f64>],
+    reason: DegradeReason,
+    attempts: u32,
+) -> ClassifyOutcome {
+    let config = model.config();
+    let snap = &warm.snapshot;
+    let pseudo = snap.fresh_dish_id();
+
+    let mut counts: BTreeMap<DishId, usize> = BTreeMap::new();
+    let mut test_dishes = Vec::with_capacity(test.len());
+    let mut predictions = Vec::with_capacity(test.len());
+    for x in test {
+        let dish = snap.map_dish(x).unwrap_or(pseudo);
+        predictions.push(warm.assoc.decide(dish));
+        *counts.entry(dish).or_insert(0) += 1;
+        test_dishes.push(dish);
+    }
+
+    let mut dish_counts: Vec<(DishId, usize)> = counts.into_iter().collect();
+    dish_counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let summary = GroupSummary {
+        group: snap.n_groups(),
+        n_items: test.len(),
+        n_tables: dish_counts.len(),
+        dish_counts,
+    };
+    let report = build_report(
+        config.varrho,
+        model.n_classes(),
+        &warm.assoc,
+        warm.known_reports.clone(),
+        &summary,
+    );
+
+    osr_stats::counters::record_degraded_batch();
+    ClassifyOutcome {
+        predictions,
+        report,
+        test_dishes,
+        gamma: snap.gamma(),
+        alpha: snap.alpha(),
+        log_likelihood: snap.joint_log_likelihood(),
+        served_via: ServedVia::Degraded { reason },
+        attempts,
+    }
 }
 
 /// Derive the RNG seed for batch `index` under server seed `seed` — the
@@ -289,28 +497,65 @@ pub fn derive_batch_seed(seed: u64, index: usize) -> u64 {
     seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
+/// Run `f` with the fault-injection (batch, attempt) context published on
+/// this thread (no-op without the `fault-inject` feature).
+fn with_fault_context<T>(_batch: usize, _attempt: u32, f: impl FnOnce() -> T) -> T {
+    #[cfg(feature = "fault-inject")]
+    {
+        osr_stats::faults::with_context(_batch, _attempt, f)
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        f()
+    }
+}
+
+/// Best-effort human-readable panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
 /// Serve many independent batches concurrently over scoped worker threads.
 ///
 /// Each batch gets its own RNG seeded by [`derive_batch_seed`], so the
-/// output is a pure function of `(model, batches, seed)` — independent of
-/// the worker count and of thread scheduling. Workers pull batch indices
-/// from a shared atomic counter (work stealing), so stragglers do not hold
-/// up the queue.
+/// output is a pure function of `(model, batches, seed, policy)` —
+/// independent of the worker count and of thread scheduling. Workers pull
+/// batch indices from a shared atomic counter (work stealing), so
+/// stragglers do not hold up the queue.
+///
+/// Failures stay confined to their slot: admission rejections, divergence
+/// after exhausted retries, and even panics surface as that batch's
+/// `Err`/degraded outcome while every sibling batch completes bit-identical
+/// to an undisturbed run.
 pub struct BatchServer<'a> {
     model: &'a HdpOsr,
     workers: usize,
+    policy: ServePolicy,
 }
 
 impl<'a> BatchServer<'a> {
-    /// A server over `model` with one worker per available CPU.
+    /// A server over `model` with one worker per available CPU and the
+    /// default [`ServePolicy`].
     pub fn new(model: &'a HdpOsr) -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self { model, workers }
+        Self { model, workers, policy: ServePolicy::default() }
     }
 
     /// A server with an explicit worker count (clamped to ≥ 1).
     pub fn with_workers(model: &'a HdpOsr, workers: usize) -> Self {
-        Self { model, workers: workers.max(1) }
+        Self { model, workers: workers.max(1), policy: ServePolicy::default() }
+    }
+
+    /// Replace the fault-tolerance policy (builder style).
+    pub fn with_policy(mut self, policy: ServePolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Number of worker threads the server will spawn.
@@ -318,9 +563,17 @@ impl<'a> BatchServer<'a> {
         self.workers
     }
 
+    /// The active fault-tolerance policy.
+    pub fn policy(&self) -> &ServePolicy {
+        &self.policy
+    }
+
     /// Classify every batch; result `i` belongs to batch `i`. Per-batch
-    /// failures (e.g. an empty batch) are returned in place, they do not
-    /// poison the other batches.
+    /// failures — malformed input, divergence past the retry policy on a
+    /// cold model, even a panic — are returned in place; they never poison
+    /// the other batches. Warm-start models degrade to frozen inference
+    /// instead of erroring when the policy allows it (check
+    /// [`ClassifyOutcome::served_via`]).
     pub fn classify_batches(
         &self,
         batches: &[Vec<Vec<f64>>],
@@ -333,25 +586,138 @@ impl<'a> BatchServer<'a> {
         let results: Mutex<Vec<Option<Result<ClassifyOutcome>>>> =
             Mutex::new((0..n).map(|_| None).collect());
         let next = AtomicUsize::new(0);
-        crossbeam::thread::scope(|s| {
+        let scope_result = crossbeam::thread::scope(|s| {
             for _ in 0..self.workers.min(n) {
                 s.spawn(|_| loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= n {
                         break;
                     }
-                    let mut rng = StdRng::seed_from_u64(derive_batch_seed(seed, idx));
-                    let outcome = serve_batch(self.model, &batches[idx], &mut rng);
+                    // Panic isolation: a panicking batch must not unwind
+                    // through the scope and abort its siblings. The catch
+                    // sits inside the worker loop because the vendored
+                    // scope resumes child panics on the host thread.
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| self.serve_one(idx, &batches[idx], seed)))
+                            .unwrap_or_else(|payload| {
+                                Err(OsrError::Internal(format!(
+                                    "batch worker panicked: {}",
+                                    panic_message(payload)
+                                )))
+                            });
                     results.lock()[idx] = Some(outcome);
                 });
             }
-        })
-        .expect("batch worker panicked");
+        });
+        if scope_result.is_err() {
+            // Unreachable with the in-loop catch_unwind above, but never
+            // panic over it: unclaimed slots become typed errors below.
+        }
         results
             .into_inner()
             .into_iter()
-            .map(|slot| slot.expect("every batch index was claimed"))
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(OsrError::Internal("batch slot was never claimed by a worker".into()))
+                })
+            })
             .collect()
+    }
+
+    /// Serve batch `idx` under the full fault-tolerance policy: admission,
+    /// watchdogged attempts with retry-with-reseed, then degradation.
+    fn serve_one(
+        &self,
+        idx: usize,
+        batch: &[Vec<f64>],
+        seed: u64,
+    ) -> Result<ClassifyOutcome> {
+        // Injected NaN perturbations land *before* admission — proving the
+        // admission pass, not the sampler, is what rejects them.
+        #[cfg(feature = "fault-inject")]
+        let perturbed: Vec<Vec<f64>>;
+        #[cfg(feature = "fault-inject")]
+        let batch: &[Vec<f64>] = {
+            let fault = osr_stats::faults::with_context(idx, 0, || {
+                osr_stats::faults::hit(osr_stats::faults::sites::ADMISSION)
+            });
+            if let Some(osr_stats::faults::Fault::NanPoint { point, coord }) = fault {
+                let mut owned = batch.to_vec();
+                if let Some(v) = owned.get_mut(point).and_then(|p| p.get_mut(coord)) {
+                    *v = f64::NAN;
+                }
+                perturbed = owned;
+                &perturbed
+            } else {
+                batch
+            }
+        };
+
+        admission::validate_batch(self.model.dim(), batch)?;
+
+        let mut ctl = ServeCtl::new(&self.policy);
+        let max_attempts = self.policy.retry.max_attempts.max(1);
+        let mut attempts_used = 0u32;
+        let mut last_divergence = String::new();
+        let mut resource_breach: Option<DegradeReason> = None;
+
+        for attempt in 0..max_attempts {
+            attempts_used = attempt + 1;
+            if attempt > 0 {
+                osr_stats::counters::record_serve_retry();
+            }
+            let attempt_seed = if self.policy.retry.reseed {
+                derive_batch_seed(seed, idx) ^ u64::from(attempt)
+            } else {
+                derive_batch_seed(seed, idx)
+            };
+            let result = with_fault_context(idx, attempt, || {
+                #[cfg(feature = "fault-inject")]
+                if let Some(osr_stats::faults::Fault::Panic { message }) =
+                    osr_stats::faults::hit(osr_stats::faults::sites::ATTEMPT)
+                {
+                    panic!("{message}");
+                }
+                // A reused worker thread may carry stale poison from an
+                // unrelated earlier batch; attempts start clean.
+                osr_stats::divergence::clear();
+                let mut rng = StdRng::seed_from_u64(attempt_seed);
+                match self.model.warm() {
+                    Some(warm) => serve_warm_attempt(self.model, warm, batch, &mut rng, &mut ctl),
+                    None => serve_cold_attempt(self.model, batch, &mut rng, &mut ctl),
+                }
+            });
+            match result {
+                Ok(mut outcome) => {
+                    outcome.attempts = attempts_used;
+                    return Ok(outcome);
+                }
+                Err(AttemptError::Fatal(e)) => return Err(e),
+                Err(AttemptError::Diverged(reason)) => last_divergence = reason,
+                Err(AttemptError::DeadlineExceeded) => {
+                    resource_breach = Some(DegradeReason::DeadlineExceeded);
+                    break;
+                }
+                Err(AttemptError::BudgetExhausted) => {
+                    resource_breach = Some(DegradeReason::SweepBudgetExceeded);
+                    break;
+                }
+            }
+        }
+
+        let reason = resource_breach.unwrap_or(DegradeReason::RetriesExhausted);
+        if self.policy.degrade {
+            if let Some(warm) = self.model.warm() {
+                return Ok(serve_degraded(self.model, warm, batch, reason, attempts_used));
+            }
+        }
+        Err(OsrError::Diverged {
+            attempts: attempts_used,
+            reason: match resource_breach {
+                Some(breach) => breach.to_string(),
+                None => last_divergence,
+            },
+        })
     }
 }
 
@@ -416,11 +782,13 @@ mod tests {
         let model = HdpOsr::fit(&config(ServingMode::WarmStart), &train).unwrap();
         let a = model.classify_detailed(&test, &mut StdRng::seed_from_u64(1)).unwrap();
         let b =
-            model.classify_detailed(&test[..10].to_vec(), &mut StdRng::seed_from_u64(2)).unwrap();
+            model.classify_detailed(&test[..10], &mut StdRng::seed_from_u64(2)).unwrap();
         // Different batches, same frozen known-class subclass rows.
         for (ka, kb) in a.report.known.iter().zip(&b.report.known) {
             assert_eq!(ka.subclasses, kb.subclasses);
         }
+        assert_eq!(a.served_via, ServedVia::Warm);
+        assert_eq!(a.attempts, 1);
     }
 
     #[test]
@@ -465,8 +833,106 @@ mod tests {
         let batches = vec![test[..5].to_vec(), Vec::new(), test[5..10].to_vec()];
         let results = BatchServer::new(&model).classify_batches(&batches, 1);
         assert!(results[0].is_ok());
-        assert!(results[1].is_err(), "empty batch must fail in place");
+        assert_eq!(
+            results[1].as_ref().unwrap_err(),
+            &OsrError::EmptyBatch,
+            "empty batch must fail in place with a typed error"
+        );
         assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn admission_rejects_malformed_batches_with_typed_errors() {
+        let mut rng = StdRng::seed_from_u64(27);
+        let (train, test) = scenario(&mut rng);
+        let model = HdpOsr::fit(&config(ServingMode::WarmStart), &train).unwrap();
+        let batches = vec![
+            vec![vec![0.0, 1.0, 2.0]],           // wrong dimension
+            vec![vec![0.0, f64::NAN]],           // non-finite feature
+            test[..5].to_vec(),                  // healthy
+        ];
+        let results = BatchServer::new(&model).classify_batches(&batches, 3);
+        assert_eq!(
+            results[0].as_ref().unwrap_err(),
+            &OsrError::DimensionMismatch { point: 0, expected: 2, got: 3 }
+        );
+        assert_eq!(
+            results[1].as_ref().unwrap_err(),
+            &OsrError::NonFiniteFeature { point: 0, coord: 1 }
+        );
+        assert!(results[2].is_ok());
+    }
+
+    #[test]
+    fn exhausted_sweep_budget_degrades_to_frozen_inference() {
+        let mut rng = StdRng::seed_from_u64(28);
+        let (train, test) = scenario(&mut rng);
+        let model = HdpOsr::fit(&config(ServingMode::WarmStart), &train).unwrap();
+        let policy = ServePolicy { sweep_budget: Some(0), ..Default::default() };
+        let degraded_before = osr_stats::counters::degraded_batches();
+        let results = BatchServer::with_workers(&model, 2)
+            .with_policy(policy)
+            .classify_batches(std::slice::from_ref(&test), 11);
+        let outcome = results[0].as_ref().unwrap();
+        assert_eq!(
+            outcome.served_via,
+            ServedVia::Degraded { reason: DegradeReason::SweepBudgetExceeded }
+        );
+        assert!(outcome.served_via.is_degraded());
+        assert_eq!(outcome.predictions.len(), test.len());
+        assert!(osr_stats::counters::degraded_batches() > degraded_before);
+
+        // Degraded frozen inference still gets the easy scene mostly right:
+        // knowns map onto frozen training dishes, unknowns onto the pseudo
+        // new dish.
+        let k0 = outcome.predictions[..20]
+            .iter()
+            .filter(|p| **p == Prediction::Known(0))
+            .count();
+        let unk = outcome.predictions[40..]
+            .iter()
+            .filter(|p| **p == Prediction::Unknown)
+            .count();
+        assert!(k0 >= 16, "degraded recall for class 0: {k0}/20");
+        assert!(unk >= 16, "degraded rejection: {unk}/20");
+        // The report stays coherent: frozen known rows, a new-dish row for
+        // the unknowns.
+        assert!(outcome.report.n_new_subclasses() >= 1);
+    }
+
+    #[test]
+    fn degradation_disabled_surfaces_a_typed_error() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let (train, test) = scenario(&mut rng);
+        let model = HdpOsr::fit(&config(ServingMode::WarmStart), &train).unwrap();
+        let policy =
+            ServePolicy { sweep_budget: Some(0), degrade: false, ..Default::default() };
+        let results = BatchServer::with_workers(&model, 1)
+            .with_policy(policy)
+            .classify_batches(&[test[..5].to_vec()], 11);
+        match results[0].as_ref().unwrap_err() {
+            OsrError::Diverged { attempts, reason } => {
+                assert_eq!(*attempts, 1);
+                assert!(reason.contains("budget"), "reason was: {reason}");
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cold_model_cannot_degrade_and_errors_instead() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let (train, test) = scenario(&mut rng);
+        let model = HdpOsr::fit(&config(ServingMode::ColdStart), &train).unwrap();
+        let policy = ServePolicy { sweep_budget: Some(1), ..Default::default() };
+        let results = BatchServer::with_workers(&model, 1)
+            .with_policy(policy)
+            .classify_batches(&[test[..5].to_vec()], 11);
+        assert!(
+            matches!(results[0].as_ref().unwrap_err(), OsrError::Diverged { .. }),
+            "cold model has no checkpoint to degrade onto: {:?}",
+            results[0]
+        );
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Property-based robustness: `classify_detailed` must never panic, no
+//! matter how hostile the batch — empty, singleton, duplicated points,
+//! ragged dimensions, NaN/±∞ coordinates, magnitudes near the f64 edge.
+//! Malformed input must come back as a typed error; admissible input must
+//! come back as a full outcome with one prediction per point (or a typed
+//! divergence), under both serving modes.
+
+use std::sync::OnceLock;
+
+use hdp_osr_core::{HdpOsr, HdpOsrConfig, OsrError, ServingMode};
+use osr_dataset::protocol::TrainSet;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Small 2-D training set: two tight, well-separated classes.
+fn train_set() -> TrainSet {
+    let class = |cx: f64, cy: f64| -> Vec<Vec<f64>> {
+        (0..12)
+            .map(|i| {
+                let jx = f64::from(i % 3) * 0.2 - 0.2;
+                let jy = f64::from(i % 4) * 0.15 - 0.2;
+                vec![cx + jx, cy + jy]
+            })
+            .collect()
+    };
+    TrainSet { class_ids: vec![1, 2], classes: vec![class(-5.0, 0.0), class(5.0, 0.0)] }
+}
+
+fn models() -> &'static (HdpOsr, HdpOsr) {
+    static MODELS: OnceLock<(HdpOsr, HdpOsr)> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let train = train_set();
+        let fit = |serving| {
+            let config =
+                HdpOsrConfig { iterations: 3, decision_sweeps: 2, serving, ..Default::default() };
+            HdpOsr::fit(&config, &train).expect("clean training set must fit")
+        };
+        (fit(ServingMode::WarmStart), fit(ServingMode::ColdStart))
+    })
+}
+
+/// A coordinate drawn from the full hostile spectrum: ordinary values,
+/// non-finite values, and finite values of extreme magnitude.
+fn coord() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -8.0f64..8.0,
+        Just(0.0),
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(1e300),
+        Just(-1e300),
+        Just(1e-300),
+    ]
+}
+
+prop_compose! {
+    /// Batches of 0–6 points with independently drawn dimensions (0–4), so
+    /// empty batches, empty points, and ragged dimension mixes all occur,
+    /// optionally with the first point duplicated.
+    fn hostile_batch()(
+        points in prop::collection::vec(prop::collection::vec(coord(), 0..5), 0..7),
+        dup in 0usize..3,
+    ) -> Vec<Vec<f64>> {
+        let mut batch = points;
+        if let Some(first) = batch.first().cloned() {
+            for _ in 0..dup {
+                batch.push(first.clone());
+            }
+        }
+        batch
+    }
+}
+
+/// The only acceptable behaviours: a full outcome sized to the batch, or a
+/// typed error. Reaching the end of this function at all proves no panic.
+fn assert_serves_or_rejects(model: &HdpOsr, batch: &[Vec<f64>], seed: u64) -> Result<(), TestCaseError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match model.classify_detailed(batch, &mut rng) {
+        Ok(outcome) => {
+            prop_assert_eq!(outcome.predictions.len(), batch.len());
+            prop_assert_eq!(outcome.test_dishes.len(), batch.len());
+            prop_assert_eq!(outcome.attempts, 1);
+        }
+        Err(
+            OsrError::EmptyBatch
+            | OsrError::DimensionMismatch { .. }
+            | OsrError::NonFiniteFeature { .. }
+            | OsrError::Diverged { .. },
+        ) => {}
+        Err(other) => {
+            return Err(TestCaseError::Fail(format!("unexpected error class: {other}")));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn warm_serving_never_panics(batch in hostile_batch(), seed in 0u64..1_000_000) {
+        assert_serves_or_rejects(&models().0, &batch, seed)?;
+    }
+
+    #[test]
+    fn cold_serving_never_panics(batch in hostile_batch(), seed in 0u64..1_000_000) {
+        assert_serves_or_rejects(&models().1, &batch, seed)?;
+    }
+}

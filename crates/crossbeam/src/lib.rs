@@ -58,7 +58,7 @@ pub mod thread {
         #[test]
         fn scoped_threads_borrow_and_join() {
             let counter = AtomicUsize::new(0);
-            let data = vec![1usize, 2, 3, 4];
+            let data = [1usize, 2, 3, 4];
             let result = super::scope(|s| {
                 for chunk in data.chunks(2) {
                     s.spawn(|_| {

@@ -29,6 +29,19 @@ use osr_stats::{sampling, NiwPosterior};
 use crate::concentration::{resample_alpha, resample_gamma};
 use crate::state::{DishId, HdpConfig, HdpState, Table};
 
+/// Draw from `exp(lw)`, hardened against hostile inputs: when the log
+/// normalizer is not finite (every weight underflowed to `-inf`, or a
+/// predictive evaluated to `NaN`/`+inf`), poison the thread's divergence
+/// flag — the serving watchdog will abort the sweep — and fall back to the
+/// last candidate, which at every call site is the "open something new"
+/// option and therefore keeps the seating bookkeeping structurally valid.
+fn seat_choice<R: Rng + ?Sized>(rng: &mut R, lw: &[f64], what: &str) -> usize {
+    sampling::try_categorical_log(rng, lw).unwrap_or_else(|| {
+        osr_stats::divergence::poison(&format!("non-finite seating weights ({what})"));
+        lw.len() - 1
+    })
+}
+
 impl HdpState {
     /// Resample the table assignment `t_ji` of every item of group `j`
     /// (Eq. 7), in index order.
@@ -90,7 +103,7 @@ impl HdpState {
         }
         lw.push(self.alpha.ln() + new_table_marginal);
 
-        let choice = sampling::categorical_log(rng, &lw);
+        let choice = seat_choice(rng, &lw, "table assignment");
         if choice < self.tables[j].len() {
             // Existing table.
             let dish = self.tables[j][choice].dish;
@@ -100,7 +113,7 @@ impl HdpState {
         } else {
             // New table: draw its dish from the menu posterior (same
             // mixture that formed the marginal above).
-            let menu_choice = sampling::categorical_log(rng, &menu_lw);
+            let menu_choice = seat_choice(rng, &menu_lw, "menu draw");
             let dish = if menu_choice < dish_pred.len() {
                 dish_pred[menu_choice].0
             } else {
@@ -197,7 +210,7 @@ impl HdpState {
             lw.push(self.gamma.ln() + lp);
         }
 
-        let choice = sampling::categorical_log(rng, &lw);
+        let choice = seat_choice(rng, &lw, "dish reassignment");
         let new_dish = if choice < live_ids.len() { live_ids[choice] } else { self.new_dish() };
         {
             let dish = self.dish_mut(new_dish);

@@ -30,11 +30,13 @@ mod engine;
 mod sampler;
 mod session;
 mod state;
+mod watchdog;
 
 pub use concentration::{resample_alpha, resample_gamma};
 pub use sampler::Hdp;
 pub use session::{BatchSession, PosteriorSnapshot};
 pub use state::{DishId, DishSummary, GroupSummary, HdpConfig};
+pub use watchdog::Divergence;
 
 /// Errors produced while building or running an HDP.
 #[derive(Debug, Clone, PartialEq)]

@@ -121,6 +121,26 @@ impl Hdp {
         }
     }
 
+    /// [`Self::sweep`] under the divergence watchdog: runs one sweep, then
+    /// consumes the thread's poison flag and audits concentrations and the
+    /// joint log-likelihood. Calling this `iterations` times consumes the
+    /// exact RNG stream of [`Self::run`] (initialization happens inside the
+    /// first sweep either way). An `Err` means the sampler state can no
+    /// longer be trusted and should be discarded.
+    pub fn sweep_checked<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> std::result::Result<(), crate::Divergence> {
+        #[cfg(feature = "fault-inject")]
+        if osr_stats::faults::hit(osr_stats::faults::sites::ENGINE_SWEEP)
+            == Some(osr_stats::faults::Fault::Diverge)
+        {
+            osr_stats::divergence::poison("injected: engine sweep divergence");
+        }
+        self.sweep(rng);
+        crate::watchdog::check_health(&self.state)
+    }
+
     fn ensure_initialized<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         if self.initialized {
             return;

@@ -30,6 +30,7 @@ use osr_stats::{NiwParams, NiwPosterior};
 
 use crate::sampler::validate_group;
 use crate::state::{DishId, DishSummary, GroupSummary, HdpConfig, HdpState};
+use crate::watchdog::{self, Divergence};
 use crate::{Hdp, Result};
 
 /// An immutable checkpoint of a converged sampler: the seating arrangement,
@@ -110,6 +111,38 @@ impl PosteriorSnapshot {
         self.state.joint_log_likelihood()
     }
 
+    /// One past the largest dish id ever allocated in the checkpoint: a
+    /// pseudo-id guaranteed to collide with no training dish, used by
+    /// degraded frozen inference to pool every MAP-novel point into a single
+    /// stand-in "new" subclass.
+    pub fn fresh_dish_id(&self) -> DishId {
+        self.state.dishes.len()
+    }
+
+    /// MAP dish assignment of `x` under the frozen global mixture — the
+    /// degraded-mode replacement for reseating. Scores each live dish `k` by
+    /// `ln m_·k + f_k(x)` and the "brand-new dish" option by `ln γ + f_H(x)`
+    /// (the menu weights of Eq. 8 with the batch contributing nothing);
+    /// returns `None` when the new-dish option wins, i.e. no frozen subclass
+    /// explains `x` better than the prior.
+    ///
+    /// # Panics
+    /// Panics when `x` does not match the base measure's dimension.
+    pub fn map_dish(&self, x: &[f64]) -> Option<DishId> {
+        let new_lw = self.state.gamma.ln() + self.prior_post.predictive_logpdf(x);
+        let mut best: Option<(DishId, f64)> = None;
+        for (id, dish) in self.state.live_dishes() {
+            let lw = (dish.n_tables as f64).ln() + dish.posterior.predictive_logpdf(x);
+            if best.is_none_or(|(_, b)| lw > b) {
+                best = Some((id, lw));
+            }
+        }
+        match best {
+            Some((id, lw)) if lw >= new_lw => Some(id),
+            _ => None,
+        }
+    }
+
     /// Rebuild a full sampler from the checkpoint (the inverse of
     /// [`Hdp::snapshot`]): the restored sampler continues sweeping *all*
     /// groups from the frozen arrangement.
@@ -171,12 +204,31 @@ impl BatchSession {
     /// concentrations. The first call runs a sequential CRF seating pass
     /// first, exactly like [`Hdp::run`] does for the full problem.
     pub fn sweep<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        #[cfg(feature = "fault-inject")]
+        if osr_stats::faults::hit(osr_stats::faults::sites::ENGINE_SWEEP)
+            == Some(osr_stats::faults::Fault::Diverge)
+        {
+            osr_stats::divergence::poison("injected: engine sweep divergence");
+        }
         self.ensure_initialized(rng);
         self.state.seat_group_items(&self.prior_post, self.batch_group, rng);
         self.state.resample_group_dishes(&self.prior_post, self.batch_group, rng);
         if self.config.resample_concentrations {
             self.state.resample_concentrations(&self.config, rng);
         }
+    }
+
+    /// [`Self::sweep`] under the divergence watchdog: runs one sweep, then
+    /// consumes the thread's poison flag and audits concentrations and the
+    /// joint log-likelihood. An `Err` means the session state can no longer
+    /// be trusted — the caller should discard the session and retry the
+    /// batch with a fresh seed or fall back to degraded frozen inference.
+    pub fn sweep_checked<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> std::result::Result<(), Divergence> {
+        self.sweep(rng);
+        watchdog::check_health(&self.state)
     }
 
     /// Run `sweeps` warm sweeps (the short `decision_sweeps` schedule of

@@ -346,7 +346,7 @@ mod tests {
         assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
         assert_eq!(to_string(&42usize).unwrap(), "42");
         assert_eq!(from_str::<f64>("2.25").unwrap(), 2.25);
-        assert_eq!(from_str::<bool>(" false ").unwrap(), false);
+        assert!(!from_str::<bool>(" false ").unwrap());
         assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
     }
 

@@ -15,6 +15,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static PREDICTIVE_LOGPDF_CALLS: AtomicU64 = AtomicU64::new(0);
+static SERVE_RETRIES: AtomicU64 = AtomicU64::new(0);
+static DEGRADED_BATCHES: AtomicU64 = AtomicU64::new(0);
 
 #[inline]
 pub(crate) fn record_predictive_logpdf() {
@@ -31,6 +33,29 @@ pub fn predictive_logpdf_calls() -> u64 {
 /// code that may share the process with other sampling threads.
 pub fn reset_predictive_logpdf_calls() {
     PREDICTIVE_LOGPDF_CALLS.store(0, Ordering::Relaxed);
+}
+
+/// Record one serve-attempt retry (an attempt launched after a divergent
+/// previous attempt on the same batch).
+#[inline]
+pub fn record_serve_retry() {
+    SERVE_RETRIES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total serve-attempt retries since process start.
+pub fn serve_retries() -> u64 {
+    SERVE_RETRIES.load(Ordering::Relaxed)
+}
+
+/// Record one batch answered via degraded frozen inference.
+#[inline]
+pub fn record_degraded_batch() {
+    DEGRADED_BATCHES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total batches answered via degraded frozen inference since process start.
+pub fn degraded_batches() -> u64 {
+    DEGRADED_BATCHES.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]

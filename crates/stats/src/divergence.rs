@@ -1,0 +1,91 @@
+//! Thread-local numerical-divergence flag — the sensor half of the serving
+//! watchdog.
+//!
+//! The collapsed Gibbs sampler's inner loops (CRF seating, rank-1 NIW
+//! downdates) occasionally hit states that are numerically unrecoverable:
+//! every seating weight underflows to `-inf`, or a Cholesky downdate breaks
+//! positive-definiteness past the escalating jitter ladder. Panicking there
+//! would take down a whole `BatchServer` scope for one hostile batch, and
+//! returning `Result` through every seating call would put a branch in the
+//! hottest loop of the reproduction.
+//!
+//! Instead, the deep numerical code *poisons* a thread-local flag and
+//! substitutes a deterministic, structurally valid fallback (open a new
+//! table/dish, install an identity scale factor). The watchdog in the
+//! serving layer polls [`take`] after every sweep; a poisoned sweep makes
+//! the whole attempt count as diverged so it can be retried with a fresh
+//! seed or degraded to frozen inference. This works because each batch is
+//! served on a single thread with a thread-private RNG — the flag can never
+//! leak between concurrently served batches.
+//!
+//! Only the *first* poison reason per sweep is kept: later failures in the
+//! same sweep are almost always knock-on effects of the first.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static POISON: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Mark the current thread's in-flight sweep as numerically diverged.
+///
+/// Idempotent per sweep: if a reason is already recorded, the new one is
+/// dropped (the first failure is the root cause).
+pub fn poison(reason: &str) {
+    POISON.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.is_none() {
+            *p = Some(reason.to_string());
+        }
+    });
+}
+
+/// Consume and return the poison reason, clearing the flag.
+///
+/// The watchdog calls this once per sweep; `None` means the sweep was
+/// numerically healthy.
+pub fn take() -> Option<String> {
+    POISON.with(|p| p.borrow_mut().take())
+}
+
+/// Discard any stale poison left on this thread (e.g. by an earlier batch
+/// served on a reused worker thread) before starting a fresh attempt.
+pub fn clear() {
+    let _ = take();
+}
+
+/// Whether the current thread has an un-consumed poison flag.
+pub fn is_poisoned() -> bool {
+    POISON.with(|p| p.borrow().is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_reason_wins_and_take_clears() {
+        clear();
+        assert!(!is_poisoned());
+        poison("first");
+        poison("second");
+        assert!(is_poisoned());
+        assert_eq!(take().as_deref(), Some("first"));
+        assert!(!is_poisoned());
+        assert_eq!(take(), None);
+    }
+
+    #[test]
+    fn poison_is_thread_local() {
+        clear();
+        poison("main thread");
+        std::thread::spawn(|| {
+            assert!(!is_poisoned());
+            poison("child thread");
+            assert_eq!(take().as_deref(), Some("child thread"));
+        })
+        .join()
+        .unwrap();
+        assert_eq!(take().as_deref(), Some("main thread"));
+    }
+}

@@ -19,13 +19,21 @@
 //! * [`descriptive`] — means, standard deviations and quantiles for the
 //!   experiment reports,
 //! * [`counters`] — process-wide relaxed-atomic instrumentation (predictive
-//!   evaluation counts) surfaced by the benchmark harness.
+//!   evaluation counts, serving retries/degradations) surfaced by the
+//!   benchmark harness,
+//! * [`divergence`] — the thread-local numerical-divergence flag polled by
+//!   the serving watchdog,
+//! * [`faults`] — the deterministic fault-injection harness (only with the
+//!   `fault-inject` cargo feature).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod counters;
 pub mod descriptive;
+pub mod divergence;
+#[cfg(feature = "fault-inject")]
+pub mod faults;
 pub mod mvn;
 pub mod niw;
 pub mod sampling;

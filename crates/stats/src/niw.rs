@@ -191,6 +191,11 @@ impl NiwPosterior {
         let d = self.dim();
         assert_eq!(x.len(), d, "NiwPosterior::remove: dimension mismatch");
         assert!(self.n > 0, "NiwPosterior::remove: no observations to remove");
+        #[cfg(feature = "fault-inject")]
+        if crate::faults::hit(crate::faults::sites::CHOLESKY) == Some(crate::faults::Fault::CholeskyFail)
+        {
+            crate::divergence::poison("injected: Ψ downdate not SPD past the jitter ladder");
+        }
         let kappa_new = self.kappa - 1.0;
         // New mean first: μ' = (κ μ − x) / κ'.
         let mut mu_new = vec![0.0; d];
@@ -207,9 +212,19 @@ impl NiwPosterior {
             let mut psi = self.psi_chol.reconstruct();
             psi.syr(-1.0, &dir);
             psi.symmetrize();
-            self.psi_chol = factor_spd_with_jitter(&psi)
-                .expect("Ψ after legitimate removal must be SPD up to jitter")
-                .0;
+            match factor_spd_with_jitter(&psi) {
+                Ok((chol, _)) => self.psi_chol = chol,
+                Err(_) => {
+                    // Ψ' = Ψ − dir dir' is SPD in exact arithmetic, so only
+                    // non-finite input can land here. Poison the divergence
+                    // flag (the serving watchdog aborts the sweep and
+                    // retries/degrades) and install a structurally valid
+                    // stand-in factor so unwinding bookkeeping stays safe.
+                    crate::divergence::poison("Ψ downdate not SPD past the jitter ladder");
+                    self.psi_chol = Cholesky::factor(&Matrix::identity(d))
+                        .expect("identity is SPD");
+                }
+            }
         }
         self.mu = mu_new;
         self.kappa = kappa_new;

@@ -116,13 +116,21 @@ pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
 /// Panics when all entries are `-inf` (no valid outcome) or the slice is
 /// empty.
 pub fn categorical_log<R: Rng + ?Sized>(rng: &mut R, log_weights: &[f64]) -> usize {
+    try_categorical_log(rng, log_weights)
+        .expect("categorical_log: no finite log-weights (log normalizer not finite)")
+}
+
+/// Fallible variant of [`categorical_log`]: returns `None` instead of
+/// panicking when the log normalizer is not finite (all entries `-inf`, or
+/// any `NaN`/`+inf`), so samplers facing hostile inputs can substitute a
+/// deterministic fallback and flag the sweep as diverged.
+pub fn try_categorical_log<R: Rng + ?Sized>(rng: &mut R, log_weights: &[f64]) -> Option<usize> {
     let z = log_sum_exp(log_weights);
-    assert!(
-        z.is_finite(),
-        "categorical_log: no finite log-weights (log normalizer = {z})"
-    );
+    if !z.is_finite() {
+        return None;
+    }
     let weights: Vec<f64> = log_weights.iter().map(|w| (w - z).exp()).collect();
-    categorical(rng, &weights)
+    Some(categorical(rng, &weights))
 }
 
 /// Fisher–Yates shuffle of a slice of indices (thin wrapper so callers don't

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full verification gate: release build, the complete test suite, and a
 # warnings-as-errors clippy pass over every workspace crate (including the
-# vendored dependency shims).
+# vendored dependency shims) — then the same test + clippy gate again with
+# the deterministic fault-injection harness compiled in, which unlocks the
+# serving stack's robustness acceptance suite (tests/fault_injection.rs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,4 +11,7 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
 
-echo "verify: build + tests + clippy all green"
+cargo test -q --features fault-inject
+cargo clippy --workspace --all-targets --features fault-inject -- -D warnings
+
+echo "verify: build + tests + clippy green (default and fault-inject)"

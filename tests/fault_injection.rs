@@ -1,0 +1,275 @@
+//! Acceptance suite for the fault-tolerant serving stack, driven by the
+//! deterministic `fault-inject` harness.
+//!
+//! The contract under test: a fault in one batch — a worker panic, a
+//! numerically divergent sampler, a NaN slipped in before admission, an
+//! artificial stall — must (a) surface on that batch as a typed error or a
+//! flagged degraded outcome, and (b) leave every sibling batch *bit-identical*
+//! to an uninjected run, because per-batch RNG isolation means a fault cannot
+//! leak across slots.
+//!
+//! Fault plans are process-global, so every test (including the baseline
+//! runs) serializes on one lock.
+
+#![cfg(feature = "fault-inject")]
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use hdp_osr::core::{
+    derive_batch_seed, BatchServer, ClassifyOutcome, DegradeReason, HdpOsr, HdpOsrConfig,
+    OsrError, Prediction, RetryPolicy, ServePolicy, ServedVia, ServingMode,
+};
+use hdp_osr::dataset::protocol::TrainSet;
+use hdp_osr::stats::counters;
+use hdp_osr::stats::faults::{install, sites, Fault, FaultPlan};
+use hdp_osr::stats::sampling;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Serializes every test in this binary: fault plans are process-global.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn blob(rng: &mut StdRng, cx: f64, cy: f64, n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| {
+            vec![
+                cx + 0.5 * sampling::standard_normal(rng),
+                cy + 0.5 * sampling::standard_normal(rng),
+            ]
+        })
+        .collect()
+}
+
+/// A warm-start model over two separated classes, plus four test batches
+/// mixing known and unknown points.
+fn warm_model_and_batches() -> (HdpOsr, Vec<Vec<Vec<f64>>>) {
+    let mut rng = StdRng::seed_from_u64(97);
+    let train = TrainSet {
+        class_ids: vec![1, 2],
+        classes: vec![blob(&mut rng, -6.0, 0.0, 40), blob(&mut rng, 6.0, 0.0, 40)],
+    };
+    let config = HdpOsrConfig {
+        iterations: 10,
+        decision_sweeps: 3,
+        serving: ServingMode::WarmStart,
+        ..Default::default()
+    };
+    let model = HdpOsr::fit(&config, &train).expect("clean fit");
+    let batches = vec![
+        blob(&mut rng, -6.0, 0.0, 12),
+        blob(&mut rng, 6.0, 0.0, 12),
+        blob(&mut rng, 0.0, 9.0, 12),
+        {
+            let mut mixed = blob(&mut rng, -6.0, 0.0, 6);
+            mixed.extend(blob(&mut rng, 0.0, 9.0, 6));
+            mixed
+        },
+    ];
+    (model, batches)
+}
+
+const SEED: u64 = 4242;
+
+fn serve(
+    model: &HdpOsr,
+    batches: &[Vec<Vec<f64>>],
+    policy: ServePolicy,
+) -> Vec<Result<ClassifyOutcome, OsrError>> {
+    BatchServer::with_workers(model, 2).with_policy(policy).classify_batches(batches, SEED)
+}
+
+/// Bit-exact identity of two healthy outcomes: identical predictions,
+/// identical dish seating, and the joint log-likelihood equal to the bit.
+fn assert_bit_identical(a: &ClassifyOutcome, b: &ClassifyOutcome, which: &str) {
+    assert_eq!(a.predictions, b.predictions, "{which}: predictions drifted");
+    assert_eq!(a.test_dishes, b.test_dishes, "{which}: dish seating drifted");
+    assert_eq!(
+        a.log_likelihood.to_bits(),
+        b.log_likelihood.to_bits(),
+        "{which}: log-likelihood drifted"
+    );
+    assert_eq!(a.attempts, b.attempts, "{which}: attempt count drifted");
+    assert_eq!(a.served_via, b.served_via, "{which}: serving path drifted");
+}
+
+#[test]
+fn injected_panic_is_isolated_to_its_batch() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (model, batches) = warm_model_and_batches();
+    let baseline = serve(&model, &batches, ServePolicy::default());
+
+    let _plan = install(FaultPlan::new().inject(
+        sites::ATTEMPT,
+        Some(1),
+        None,
+        Fault::Panic { message: "injected worker panic".into() },
+    ));
+    let faulted = serve(&model, &batches, ServePolicy::default());
+
+    match faulted[1].as_ref().unwrap_err() {
+        OsrError::Internal(msg) => {
+            assert!(msg.contains("injected worker panic"), "message was: {msg}");
+        }
+        other => panic!("expected Internal from a panicking batch, got {other:?}"),
+    }
+    for idx in [0usize, 2, 3] {
+        assert_bit_identical(
+            faulted[idx].as_ref().unwrap(),
+            baseline[idx].as_ref().unwrap(),
+            &format!("sibling batch {idx} of a panicked batch"),
+        );
+    }
+}
+
+#[test]
+fn injected_cholesky_divergence_degrades_after_exhausting_retries() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (model, batches) = warm_model_and_batches();
+    let policy = ServePolicy {
+        retry: RetryPolicy { max_attempts: 3, reseed: true },
+        ..Default::default()
+    };
+    let baseline = serve(&model, &batches, policy);
+
+    let retries_before = counters::serve_retries();
+    let degraded_before = counters::degraded_batches();
+    // Every attempt of batch 2 trips the Cholesky jitter ladder, so the
+    // retry policy runs dry and the batch falls back to frozen inference.
+    let _plan = install(FaultPlan::new().inject(
+        sites::CHOLESKY,
+        Some(2),
+        None,
+        Fault::CholeskyFail,
+    ));
+    let faulted = serve(&model, &batches, policy);
+
+    let outcome = faulted[2].as_ref().expect("degradation answers instead of erroring");
+    assert_eq!(
+        outcome.served_via,
+        ServedVia::Degraded { reason: DegradeReason::RetriesExhausted }
+    );
+    assert_eq!(outcome.attempts, 3, "all allowed attempts must be consumed");
+    assert_eq!(outcome.predictions.len(), batches[2].len());
+    // Batch 2 is the unknown blob; frozen inference must still reject it.
+    let unknown = outcome.predictions.iter().filter(|p| **p == Prediction::Unknown).count();
+    assert!(unknown >= 10, "degraded rejection: {unknown}/12 unknown");
+
+    assert_eq!(
+        counters::serve_retries() - retries_before,
+        2,
+        "3 attempts = 2 recorded retries"
+    );
+    assert_eq!(counters::degraded_batches() - degraded_before, 1);
+
+    for idx in [0usize, 1, 3] {
+        assert_bit_identical(
+            faulted[idx].as_ref().unwrap(),
+            baseline[idx].as_ref().unwrap(),
+            &format!("sibling batch {idx} of a diverging batch"),
+        );
+    }
+}
+
+#[test]
+fn retryable_divergence_recovers_within_the_attempt_budget() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (model, batches) = warm_model_and_batches();
+
+    let retries_before = counters::serve_retries();
+    // Only attempt 0 of batch 0 diverges; the reseeded attempt 1 is healthy.
+    let _plan = install(FaultPlan::new().inject(
+        sites::ENGINE_SWEEP,
+        Some(0),
+        Some(0),
+        Fault::Diverge,
+    ));
+    let results = serve(&model, &batches, ServePolicy::default());
+
+    let outcome = results[0].as_ref().expect("retry must rescue a transient divergence");
+    assert_eq!(outcome.served_via, ServedVia::Warm, "full service, not degraded");
+    assert_eq!(outcome.attempts, 2, "one failed attempt + one successful retry");
+    assert_eq!(outcome.predictions.len(), batches[0].len());
+    assert_eq!(counters::serve_retries() - retries_before, 1);
+
+    // The retry reseeds with `derive_batch_seed(seed, 0) ^ 1`; the outcome
+    // must match a sequential single-shot run under exactly that seed.
+    let mut rng = StdRng::seed_from_u64(derive_batch_seed(SEED, 0) ^ 1);
+    let sequential = model.classify(&batches[0], &mut rng).unwrap();
+    assert_eq!(outcome.predictions, sequential);
+}
+
+#[test]
+fn injected_nan_is_rejected_by_admission_control() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (model, batches) = warm_model_and_batches();
+
+    let _plan = install(FaultPlan::new().inject(
+        sites::ADMISSION,
+        Some(3),
+        None,
+        Fault::NanPoint { point: 5, coord: 1 },
+    ));
+    let results = serve(&model, &batches, ServePolicy::default());
+
+    assert_eq!(
+        results[3].as_ref().unwrap_err(),
+        &OsrError::NonFiniteFeature { point: 5, coord: 1 },
+        "the NaN must be caught before any sampler state is touched"
+    );
+    for idx in [0usize, 1, 2] {
+        assert!(results[idx].is_ok(), "sibling batch {idx} must still serve");
+    }
+}
+
+#[test]
+fn injected_stall_trips_the_deadline_into_degraded_service() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (model, batches) = warm_model_and_batches();
+    let policy = ServePolicy {
+        deadline: Some(Duration::from_millis(5)),
+        ..Default::default()
+    };
+
+    let degraded_before = counters::degraded_batches();
+    // Every sweep of batch 1 sleeps 25 ms, so the 5 ms deadline passes
+    // before the first sweep is admitted.
+    let _plan = install(FaultPlan::new().inject(
+        sites::SWEEP,
+        Some(1),
+        None,
+        Fault::DelayMs(25),
+    ));
+    let results = serve(&model, &batches, policy);
+
+    let outcome = results[1].as_ref().expect("deadline breach degrades, not errors");
+    assert_eq!(
+        outcome.served_via,
+        ServedVia::Degraded { reason: DegradeReason::DeadlineExceeded }
+    );
+    assert_eq!(outcome.predictions.len(), batches[1].len());
+    assert!(counters::degraded_batches() > degraded_before);
+    for idx in [0usize, 2, 3] {
+        assert!(results[idx].is_ok(), "sibling batch {idx} must still serve");
+    }
+}
+
+#[test]
+fn sweep_budget_exhaustion_degrades_mid_service() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (model, batches) = warm_model_and_batches();
+    // One sweep allowed, three decision sweeps needed: the first attempt
+    // runs out of budget mid-service and frozen inference answers.
+    let policy = ServePolicy { sweep_budget: Some(1), ..Default::default() };
+
+    let results = serve(&model, &batches, policy);
+    for (idx, result) in results.iter().enumerate() {
+        let outcome = result.as_ref().expect("budget breach degrades, not errors");
+        assert_eq!(
+            outcome.served_via,
+            ServedVia::Degraded { reason: DegradeReason::SweepBudgetExceeded },
+            "batch {idx}"
+        );
+        assert_eq!(outcome.predictions.len(), batches[idx].len(), "batch {idx}");
+    }
+}
