@@ -1,0 +1,96 @@
+//! Dump a seeded end-to-end trace stream to JSONL.
+//!
+//! Fits a small two-class scene warm, then serves four batches through a
+//! [`BatchServer`] with a [`JsonlSink`] attached, writing one `Fit` record
+//! followed by one `Batch` record per batch. The stream is a pure function
+//! of `--seed`, so two runs with the same seed must produce byte-identical
+//! files — `scripts/verify.sh` runs this twice and diffs the outputs.
+//!
+//! ```text
+//! trace_dump [--seed N] [--out PATH]
+//! ```
+
+use std::sync::Arc;
+
+use hdp_osr_core::{
+    BatchServer, HdpOsr, HdpOsrConfig, JsonlSink, ServingMode, TraceRecord, TraceSink,
+};
+use osr_dataset::protocol::TrainSet;
+use osr_stats::sampling;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn blob(rng: &mut StdRng, cx: f64, cy: f64, n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| {
+            vec![
+                cx + 0.5 * sampling::standard_normal(rng),
+                cy + 0.5 * sampling::standard_normal(rng),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    let mut seed: u64 = 2026;
+    let mut out = String::from("results/trace_dump.jsonl");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|a| a.parse().ok()).unwrap_or_else(|| usage_exit());
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or_else(|| usage_exit());
+            }
+            _ => usage_exit(),
+        }
+        i += 1;
+    }
+
+    // Fixed scene (data seed independent of --seed, which drives serving):
+    // two separated classes, four batches covering known / unknown / mixed.
+    let mut rng = StdRng::seed_from_u64(314);
+    let train = TrainSet {
+        class_ids: vec![1, 2],
+        classes: vec![blob(&mut rng, -6.0, 0.0, 40), blob(&mut rng, 6.0, 0.0, 40)],
+    };
+    let batches = vec![
+        blob(&mut rng, -6.0, 0.0, 12),
+        blob(&mut rng, 6.0, 0.0, 12),
+        blob(&mut rng, 0.0, 9.0, 12),
+        {
+            let mut mixed = blob(&mut rng, -6.0, 0.0, 6);
+            mixed.extend(blob(&mut rng, 0.0, 9.0, 6));
+            mixed
+        },
+    ];
+
+    let config = HdpOsrConfig {
+        iterations: 12,
+        decision_sweeps: 3,
+        serving: ServingMode::WarmStart,
+        ..Default::default()
+    };
+    let model = HdpOsr::fit(&config, &train).expect("clean fit on the fixed scene");
+
+    let sink = Arc::new(JsonlSink::create(&out).unwrap_or_else(|e| {
+        eprintln!("trace_dump: cannot create {out}: {e}");
+        std::process::exit(1)
+    }));
+    let report = model.fit_report().expect("warm fits keep their report").clone();
+    sink.record(&TraceRecord::Fit(report));
+
+    let results =
+        BatchServer::new(&model).with_trace_sink(sink.clone()).classify_batches(&batches, seed);
+    let served = results.iter().filter(|r| r.is_ok()).count();
+    eprintln!("trace_dump: seed {seed}, {served}/{} batches served, stream at {out}", results.len());
+}
+
+fn usage_exit() -> ! {
+    eprintln!("usage: trace_dump [--seed N] [--out PATH]");
+    std::process::exit(2)
+}

@@ -128,45 +128,62 @@ impl Options {
     }
 }
 
-/// Wall-clock + predictive-call instrumentation for a serving region.
+/// Wall-clock + metrics-registry instrumentation for a serving region.
 ///
 /// The predictive log-pdf is the sampler's unit of work (one evaluation per
 /// live dish per seating decision), so its count compares serving schedules
-/// machine-independently. The counter is process-global; this records
-/// before/after deltas around the region.
+/// machine-independently. All readings are process-global and monotone; this
+/// snapshots the registry at `start()` and diffs at `report()`, so concurrent
+/// regions stay additive rather than clobbering each other.
 pub struct ServingStats {
     started: std::time::Instant,
-    calls_before: u64,
-    retries_before: u64,
-    degraded_before: u64,
+    baseline: osr_stats::metrics::MetricsSnapshot,
 }
 
 impl ServingStats {
-    /// Begin measuring: stamp the clock and the serving counters
-    /// (predictive calls, serve retries, degraded batches).
+    /// Begin measuring: stamp the clock and snapshot the global metrics
+    /// registry (predictive calls, retries, degraded batches, sweep
+    /// counters and the sweep-latency histogram all live there).
     pub fn start() -> Self {
         Self {
             started: std::time::Instant::now(),
-            calls_before: osr_stats::counters::predictive_logpdf_calls(),
-            retries_before: osr_stats::counters::serve_retries(),
-            degraded_before: osr_stats::counters::degraded_batches(),
+            baseline: osr_stats::metrics::global().snapshot(),
         }
     }
 
-    /// Print `label: N batches in S s (B batches/sec), C predictive calls`,
-    /// plus the fault-tolerance deltas (retries, degraded batches) so a
-    /// run that silently fell back to frozen inference is visible in the
-    /// benchmark log.
+    /// Print the serving summary for the region:
+    ///
+    /// ```text
+    /// [label] served N batch(es) in S s (B batches/sec), C predictive-logpdf calls, R retries, D degraded
+    /// [label] sampler: W sweeps, M seat-moves, sweep time p50≈X µs p99≈Y µs (mean Z µs)
+    /// ```
+    ///
+    /// The fault-tolerance deltas make a run that silently fell back to
+    /// frozen inference visible in the benchmark log; the sampler line makes
+    /// regressions in per-sweep cost visible without a profiler. Quantiles
+    /// come from the registry's log2-bucket histogram, so they are
+    /// factor-of-two upper bounds, not exact order statistics.
     pub fn report(&self, label: &str, n_batches: usize) {
         let secs = self.started.elapsed().as_secs_f64();
-        let calls = osr_stats::counters::predictive_logpdf_calls() - self.calls_before;
-        let retries = osr_stats::counters::serve_retries() - self.retries_before;
-        let degraded = osr_stats::counters::degraded_batches() - self.degraded_before;
+        let delta = osr_stats::metrics::global().snapshot().delta_since(&self.baseline);
+        let calls = delta.counter(osr_stats::counters::PREDICTIVE_LOGPDF_CALLS);
+        let retries = delta.counter(osr_stats::counters::SERVE_RETRIES);
+        let degraded = delta.counter(osr_stats::counters::DEGRADED_BATCHES);
         let rate = n_batches as f64 / secs.max(1e-9);
         eprintln!(
             "[{label}] served {n_batches} batch(es) in {secs:.2}s \
              ({rate:.2} batches/sec), {calls} predictive-logpdf calls, \
              {retries} retries, {degraded} degraded"
+        );
+        let sweeps = delta.counter(osr_hdp::SWEEPS_METRIC);
+        let moves = delta.counter(osr_hdp::SEAT_MOVES_METRIC);
+        let times = delta.histogram(osr_hdp::SWEEP_TIME_METRIC);
+        eprintln!(
+            "[{label}] sampler: {sweeps} sweeps, {moves} seat-moves, \
+             sweep time p50≈{:.0} µs p99≈{:.0} µs (mean {:.0} µs)",
+            times.quantile(0.5) as f64 / 1e3,
+            times.quantile(0.99) as f64 / 1e3,
+            times.mean() / 1e3,
         );
     }
 }

@@ -96,6 +96,10 @@ pub struct ClassifyOutcome {
     /// Number of serve attempts consumed, including the successful one
     /// (`1` = no retries; degraded outcomes count the failed attempts).
     pub attempts: u32,
+    /// Identifier linking this outcome to its [`crate::BatchTrace`] in the
+    /// server's trace stream ([`crate::batch_trace_id`]`(seed, batch)`);
+    /// `"adhoc"` for the single-shot `classify`/`classify_detailed` path.
+    pub trace_id: String,
 }
 
 /// Association table from dish id to the known classes using it.

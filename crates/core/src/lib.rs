@@ -38,6 +38,7 @@ pub mod discovery;
 pub mod inductive;
 pub mod kmeans;
 mod model;
+pub mod observability;
 mod serving;
 
 pub use decision::{ClassifyOutcome, DegradeReason, Prediction, ServedVia};
@@ -45,7 +46,11 @@ pub use discovery::SubclassReport;
 pub use inductive::FrozenModel;
 pub use kmeans::{kmeans, refine_unknown_classes, KMeansResult, RefinedUnknownClass};
 pub use model::{HdpOsr, HdpOsrConfig};
-pub use osr_hdp::PosteriorSnapshot;
+pub use observability::{
+    batch_trace_id, BatchTrace, FitReport, JsonlSink, RingSink, TraceRecord, TraceSink,
+};
+pub use osr_hdp::{PosteriorSnapshot, SweepTrace};
+pub use osr_stats::diagnostics::ChainDiagnostics;
 pub use serving::{derive_batch_seed, BatchServer, RetryPolicy, ServePolicy, ServingMode};
 
 /// Errors produced by the HDP-OSR pipeline.

@@ -202,6 +202,13 @@ impl HdpOsr {
         self.warm.as_deref().map(|w| &w.snapshot)
     }
 
+    /// The training burn-in's trace and convergence diagnostics (split-R̂,
+    /// effective sample size, burn-in recommendation), when the model was
+    /// fitted under [`ServingMode::WarmStart`] (`None` under cold start).
+    pub fn fit_report(&self) -> Option<&crate::observability::FitReport> {
+        self.warm.as_deref().map(|w| &w.fit_report)
+    }
+
     pub(crate) fn warm(&self) -> Option<&WarmState> {
         self.warm.as_deref()
     }

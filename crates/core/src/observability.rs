@@ -1,0 +1,298 @@
+//! Observability: structured trace records for fits and served batches,
+//! and the sinks that collect them.
+//!
+//! Two record kinds flow through one stream:
+//!
+//! * [`FitReport`] — the training burn-in's full [`SweepTrace`] series plus
+//!   convergence diagnostics (split-R̂, effective sample size, a burn-in
+//!   recommendation) over its log-likelihood trace. Built once per warm fit
+//!   and kept on the model ([`crate::HdpOsr::fit_report`]).
+//! * [`BatchTrace`] — one record per batch a [`crate::BatchServer`] serves:
+//!   a reproducible trace id, the attempt count, how the answer was produced
+//!   ([`ServedVia`]), whether the worker thread started with inherited
+//!   numerical poison, and the final attempt's per-sweep traces.
+//!
+//! Records are deterministic: [`SweepTrace`] serialization excludes wall
+//! times, and a [`crate::BatchServer`] emits batch records in batch-index
+//! order after all workers finish, so a seeded run writes byte-identical
+//! JSONL regardless of worker count or scheduling.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::Path;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use osr_hdp::SweepTrace;
+use osr_stats::diagnostics::ChainDiagnostics;
+
+use crate::decision::ServedVia;
+
+/// The training burn-in's trace and convergence diagnostics, built by
+/// `HdpOsr::fit` under warm-start serving.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FitReport {
+    /// Seed of the training-only burn-in (`HdpOsrConfig::train_seed`).
+    pub train_seed: u64,
+    /// One [`SweepTrace`] per burn-in sweep, in sweep order.
+    pub trace: Vec<SweepTrace>,
+    /// Split-R̂ / ESS / burn-in over the joint log-likelihood trace.
+    pub diagnostics: ChainDiagnostics,
+}
+
+impl FitReport {
+    /// Assemble a report from a completed burn-in trace, running the
+    /// convergence diagnostics over its log-likelihood series.
+    pub fn from_trace(train_seed: u64, trace: Vec<SweepTrace>) -> Self {
+        let ll: Vec<f64> = trace.iter().map(|t| t.log_likelihood).collect();
+        let diagnostics = ChainDiagnostics::from_trace(&ll);
+        Self { train_seed, trace, diagnostics }
+    }
+}
+
+/// Structured record of one batch served by a [`crate::BatchServer`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchTrace {
+    /// Reproducible identifier, [`batch_trace_id`]`(seed, batch)` — also
+    /// stamped on the matching [`crate::ClassifyOutcome::trace_id`].
+    pub trace_id: String,
+    /// Index of the batch within the `classify_batches` call.
+    pub batch: usize,
+    /// Serve attempts consumed, including the successful/final one.
+    pub attempts: u32,
+    /// How the outcome was produced (warm, cold, or degraded).
+    pub served_via: ServedVia,
+    /// True when the worker thread entered this batch with the thread-local
+    /// divergence flag already poisoned — a fault-isolation leak from an
+    /// earlier batch. Always false when per-batch cleanup works.
+    pub inherited_poison: bool,
+    /// Per-sweep traces of the attempt that produced the answer (empty for
+    /// degraded outcomes, which run frozen inference with no sweeps).
+    pub sweeps: Vec<SweepTrace>,
+}
+
+/// One line of the structured trace stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum TraceRecord {
+    /// A training burn-in report.
+    Fit(FitReport),
+    /// A served batch.
+    Batch(BatchTrace),
+}
+
+impl TraceRecord {
+    /// Render the record as one line of JSON (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("trace records always serialize")
+    }
+
+    /// Parse a record back from one JSONL line.
+    ///
+    /// # Errors
+    /// Fails on malformed JSON or a shape mismatch.
+    pub fn from_jsonl(line: &str) -> std::result::Result<Self, serde_json::Error> {
+        serde_json::from_str(line)
+    }
+}
+
+/// The reproducible trace id of batch `index` under server seed `seed` —
+/// a pure function of the two, so reruns and worker-count changes produce
+/// the same id.
+pub fn batch_trace_id(seed: u64, index: usize) -> String {
+    format!("batch-{index:04}-seed-{seed:016x}")
+}
+
+/// A destination for [`TraceRecord`]s. Implementations must be callable
+/// from the batch server's worker scope, hence `Send + Sync`; `record` is
+/// best-effort and must not panic on I/O failure.
+pub trait TraceSink: Send + Sync {
+    /// Accept one record.
+    fn record(&self, record: &TraceRecord);
+}
+
+/// An in-memory ring buffer keeping the most recent `capacity` records.
+pub struct RingSink {
+    capacity: usize,
+    records: Mutex<VecDeque<TraceRecord>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` records (clamped ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity: capacity.max(1), records: Mutex::new(VecDeque::new()) }
+    }
+
+    /// The buffered records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.records.lock().iter().cloned().collect()
+    }
+
+    /// Number of records currently buffered.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, record: &TraceRecord) {
+        let mut records = self.records.lock();
+        if records.len() == self.capacity {
+            records.pop_front();
+        }
+        records.push_back(record.clone());
+    }
+}
+
+/// A sink appending one JSON line per record to a writer. Writes are
+/// best-effort: an I/O failure drops the record rather than poisoning the
+/// serving path (tracing must never fail a batch).
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Wrap an arbitrary writer.
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        Self { out: Mutex::new(Box::new(writer)) }
+    }
+
+    /// Create (truncate) `path` and stream records into it.
+    ///
+    /// # Errors
+    /// Propagates the file-creation failure.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::new(std::fs::File::create(path)?))
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, record: &TraceRecord) {
+        let mut out = self.out.lock();
+        let _ = writeln!(out, "{}", record.to_jsonl());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(i: usize, ll: f64) -> SweepTrace {
+        SweepTrace {
+            sweep: i,
+            log_likelihood: ll,
+            n_dishes: 3,
+            total_tables: 5,
+            tables_per_group: vec![2, 2, 1],
+            gamma: 1.5,
+            alpha: 0.7,
+            seat_moves: 90,
+            wall_ns: 1234,
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_reproducible_and_distinct() {
+        assert_eq!(batch_trace_id(7, 3), batch_trace_id(7, 3));
+        assert_ne!(batch_trace_id(7, 3), batch_trace_id(7, 4));
+        assert_ne!(batch_trace_id(7, 3), batch_trace_id(8, 3));
+        assert_eq!(batch_trace_id(0xAB, 2), "batch-0002-seed-00000000000000ab");
+    }
+
+    #[test]
+    fn fit_report_runs_diagnostics_over_the_ll_trace() {
+        let trace: Vec<SweepTrace> =
+            (0..32).map(|i| sweep(i, -100.0 + 0.01 * (i % 3) as f64)).collect();
+        let report = FitReport::from_trace(9, trace);
+        assert_eq!(report.diagnostics.n, 32);
+        assert!(report.diagnostics.rhat.is_finite());
+        assert!(report.diagnostics.ess >= 1.0);
+        assert!(report.diagnostics.burn_in <= 16);
+    }
+
+    #[test]
+    fn records_roundtrip_through_jsonl() {
+        let batch = TraceRecord::Batch(BatchTrace {
+            trace_id: batch_trace_id(11, 0),
+            batch: 0,
+            attempts: 2,
+            served_via: ServedVia::Warm,
+            inherited_poison: false,
+            sweeps: vec![sweep(0, -50.5)],
+        });
+        let line = batch.to_jsonl();
+        assert!(!line.contains('\n'), "one record = one line");
+        assert!(!line.contains("wall_ns"), "wall time must stay out of the stream");
+        let back = TraceRecord::from_jsonl(&line).unwrap();
+        match back {
+            TraceRecord::Batch(b) => {
+                assert_eq!(b.trace_id, batch_trace_id(11, 0));
+                assert_eq!(b.attempts, 2);
+                assert_eq!(b.served_via, ServedVia::Warm);
+                assert_eq!(b.sweeps.len(), 1);
+                assert_eq!(b.sweeps[0].log_likelihood, -50.5);
+                assert_eq!(b.sweeps[0].wall_ns, 0, "wall time is not serialized");
+            }
+            other => panic!("round-trip changed the variant: {other:?}"),
+        }
+
+        let fit = TraceRecord::Fit(FitReport::from_trace(3, vec![sweep(0, -1.0)]));
+        let back = TraceRecord::from_jsonl(&fit.to_jsonl()).unwrap();
+        assert!(matches!(back, TraceRecord::Fit(f) if f.train_seed == 3));
+    }
+
+    #[test]
+    fn ring_sink_keeps_the_most_recent_records() {
+        let ring = RingSink::new(2);
+        assert!(ring.is_empty());
+        for i in 0..4 {
+            ring.record(&TraceRecord::Batch(BatchTrace {
+                trace_id: batch_trace_id(1, i),
+                batch: i,
+                attempts: 1,
+                served_via: ServedVia::Warm,
+                inherited_poison: false,
+                sweeps: Vec::new(),
+            }));
+        }
+        assert_eq!(ring.len(), 2);
+        let kept: Vec<usize> = ring
+            .records()
+            .iter()
+            .map(|r| match r {
+                TraceRecord::Batch(b) => b.batch,
+                TraceRecord::Fit(_) => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![2, 3], "oldest records are evicted first");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let buf: std::sync::Arc<Mutex<Vec<u8>>> = std::sync::Arc::default();
+        struct Shared(std::sync::Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JsonlSink::new(Shared(std::sync::Arc::clone(&buf)));
+        let record = TraceRecord::Fit(FitReport::from_trace(1, vec![sweep(0, -2.0)]));
+        sink.record(&record);
+        sink.record(&record);
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(TraceRecord::from_jsonl(line).is_ok());
+        }
+    }
+}

@@ -49,6 +49,7 @@
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -56,12 +57,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use osr_hdp::{DishId, GroupSummary, Hdp, PosteriorSnapshot};
+use osr_hdp::{DishId, GroupSummary, Hdp, PosteriorSnapshot, SweepTrace};
 
 use crate::admission;
 use crate::decision::{Associations, ClassifyOutcome, DegradeReason, Prediction, ServedVia};
 use crate::discovery::{estimate_unknown_classes, GroupSubclasses, SubclassReport};
 use crate::model::HdpOsr;
+use crate::observability::{batch_trace_id, BatchTrace, FitReport, TraceRecord, TraceSink};
 use crate::{OsrError, Result};
 
 /// How a fitted model answers [`HdpOsr::classify`] calls.
@@ -131,11 +133,14 @@ pub(crate) struct WarmState {
     pub snapshot: PosteriorSnapshot,
     pub assoc: Associations,
     pub known_reports: Vec<GroupSubclasses>,
+    pub fit_report: FitReport,
 }
 
 impl WarmState {
     /// Run the training-only burn-in (seeded by `config.train_seed`) and
-    /// checkpoint the converged state.
+    /// checkpoint the converged state, tracing every sweep so the fit ships
+    /// with convergence diagnostics. The traced loop consumes the exact RNG
+    /// stream of `Hdp::run`, so checkpoints are unchanged by tracing.
     pub fn build(model: &HdpOsr) -> Result<Self> {
         let mut hdp = Hdp::new(
             model.params().clone(),
@@ -143,11 +148,15 @@ impl WarmState {
             model.classes().to_vec(),
         )?;
         let mut rng = StdRng::seed_from_u64(model.config().train_seed);
-        hdp.run(&mut rng);
+        let mut trace = Vec::with_capacity(model.config().iterations);
+        for _ in 0..model.config().iterations {
+            trace.push(hdp.sweep_traced(&mut rng));
+        }
+        let fit_report = FitReport::from_trace(model.config().train_seed, trace);
         let snapshot = hdp.snapshot();
         let (assoc, known_reports) =
             associate(model.config().varrho, model.n_classes(), |c| snapshot.group_summary(c));
-        Ok(Self { snapshot, assoc, known_reports })
+        Ok(Self { snapshot, assoc, known_reports, fit_report })
     }
 }
 
@@ -312,16 +321,21 @@ pub(crate) fn serve_batch<R: Rng + ?Sized>(
     osr_stats::divergence::clear();
     let mut ctl = ServeCtl::unbounded();
     let attempt = match model.warm() {
-        Some(warm) => serve_warm_attempt(model, warm, test, rng, &mut ctl),
-        None => serve_cold_attempt(model, test, rng, &mut ctl),
+        Some(warm) => serve_warm_attempt(model, warm, test, rng, &mut ctl, None),
+        None => serve_cold_attempt(model, test, rng, &mut ctl, None),
     };
-    attempt.map_err(|e| match e {
-        AttemptError::Fatal(err) => err,
-        AttemptError::Diverged(reason) => OsrError::Diverged { attempts: 1, reason },
-        AttemptError::DeadlineExceeded | AttemptError::BudgetExhausted => {
-            OsrError::Internal("unbounded serve control reported a resource breach".into())
-        }
-    })
+    attempt
+        .map(|mut outcome| {
+            outcome.trace_id = "adhoc".to_string();
+            outcome
+        })
+        .map_err(|e| match e {
+            AttemptError::Fatal(err) => err,
+            AttemptError::Diverged(reason) => OsrError::Diverged { attempts: 1, reason },
+            AttemptError::DeadlineExceeded | AttemptError::BudgetExhausted => {
+                OsrError::Internal("unbounded serve control reported a resource breach".into())
+            }
+        })
 }
 
 /// Warm attempt: clone the checkpoint, append the batch, reseat only the
@@ -334,6 +348,7 @@ fn serve_warm_attempt<R: Rng + ?Sized>(
     test: &[Vec<f64>],
     rng: &mut R,
     ctl: &mut ServeCtl,
+    mut sweeps: Option<&mut Vec<SweepTrace>>,
 ) -> std::result::Result<ClassifyOutcome, AttemptError> {
     let config = model.config();
     let mut session = warm
@@ -345,7 +360,11 @@ fn serve_warm_attempt<R: Rng + ?Sized>(
     for _ in 0..config.decision_sweeps {
         sweep_fault_delay();
         ctl.admit_sweep()?;
-        session.sweep_checked(rng).map_err(|d| AttemptError::Diverged(d.to_string()))?;
+        let trace =
+            session.sweep_checked_traced(rng).map_err(|d| AttemptError::Diverged(d.to_string()))?;
+        if let Some(out) = sweeps.as_deref_mut() {
+            out.push(trace);
+        }
         for (i, vote) in votes.iter_mut().enumerate() {
             let pred = warm.assoc.decide(session.dish_of(i));
             *vote.entry(pred).or_insert(0) += 1;
@@ -372,6 +391,7 @@ fn serve_warm_attempt<R: Rng + ?Sized>(
         log_likelihood: session.joint_log_likelihood(),
         served_via: ServedVia::Warm,
         attempts: 1,
+        trace_id: String::new(),
     })
 }
 
@@ -385,6 +405,7 @@ fn serve_cold_attempt<R: Rng + ?Sized>(
     test: &[Vec<f64>],
     rng: &mut R,
     ctl: &mut ServeCtl,
+    mut sweeps: Option<&mut Vec<SweepTrace>>,
 ) -> std::result::Result<ClassifyOutcome, AttemptError> {
     let config = model.config();
     let mut groups = model.classes().to_vec();
@@ -396,7 +417,11 @@ fn serve_cold_attempt<R: Rng + ?Sized>(
     for _ in 0..config.iterations {
         sweep_fault_delay();
         ctl.admit_sweep()?;
-        hdp.sweep_checked(rng).map_err(|d| AttemptError::Diverged(d.to_string()))?;
+        let trace =
+            hdp.sweep_checked_traced(rng).map_err(|d| AttemptError::Diverged(d.to_string()))?;
+        if let Some(out) = sweeps.as_deref_mut() {
+            out.push(trace);
+        }
     }
 
     // Collect one decision snapshot per voting sweep; the subclass report
@@ -406,7 +431,12 @@ fn serve_cold_attempt<R: Rng + ?Sized>(
         if extra > 0 {
             sweep_fault_delay();
             ctl.admit_sweep()?;
-            hdp.sweep_checked(rng).map_err(|d| AttemptError::Diverged(d.to_string()))?;
+            let trace = hdp
+                .sweep_checked_traced(rng)
+                .map_err(|d| AttemptError::Diverged(d.to_string()))?;
+            if let Some(out) = sweeps.as_deref_mut() {
+                out.push(trace);
+            }
         }
         let assoc = associate(config.varrho, model.n_classes(), |c| hdp.group_summary(c)).0;
         for (i, vote) in votes.iter_mut().enumerate() {
@@ -432,6 +462,7 @@ fn serve_cold_attempt<R: Rng + ?Sized>(
         log_likelihood: hdp.joint_log_likelihood(),
         served_via: ServedVia::Cold,
         attempts: 1,
+        trace_id: String::new(),
     })
 }
 
@@ -487,6 +518,7 @@ fn serve_degraded(
         log_likelihood: snap.joint_log_likelihood(),
         served_via: ServedVia::Degraded { reason },
         attempts,
+        trace_id: String::new(),
     }
 }
 
@@ -537,6 +569,7 @@ pub struct BatchServer<'a> {
     model: &'a HdpOsr,
     workers: usize,
     policy: ServePolicy,
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl<'a> BatchServer<'a> {
@@ -544,17 +577,26 @@ impl<'a> BatchServer<'a> {
     /// default [`ServePolicy`].
     pub fn new(model: &'a HdpOsr) -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self { model, workers, policy: ServePolicy::default() }
+        Self { model, workers, policy: ServePolicy::default(), sink: None }
     }
 
     /// A server with an explicit worker count (clamped to ≥ 1).
     pub fn with_workers(model: &'a HdpOsr, workers: usize) -> Self {
-        Self { model, workers: workers.max(1), policy: ServePolicy::default() }
+        Self { model, workers: workers.max(1), policy: ServePolicy::default(), sink: None }
     }
 
     /// Replace the fault-tolerance policy (builder style).
     pub fn with_policy(mut self, policy: ServePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Attach a trace sink (builder style): every successfully answered
+    /// batch — including degraded ones — emits a [`TraceRecord::Batch`].
+    /// Records are emitted in batch-index order after all workers finish,
+    /// so the stream is deterministic under any worker count.
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
         self
     }
 
@@ -585,6 +627,7 @@ impl<'a> BatchServer<'a> {
         }
         let results: Mutex<Vec<Option<Result<ClassifyOutcome>>>> =
             Mutex::new((0..n).map(|_| None).collect());
+        let traces: Mutex<Vec<Option<BatchTrace>>> = Mutex::new((0..n).map(|_| None).collect());
         let next = AtomicUsize::new(0);
         let scope_result = crossbeam::thread::scope(|s| {
             for _ in 0..self.workers.min(n) {
@@ -597,21 +640,36 @@ impl<'a> BatchServer<'a> {
                     // through the scope and abort its siblings. The catch
                     // sits inside the worker loop because the vendored
                     // scope resumes child panics on the host thread.
-                    let outcome =
+                    let (outcome, trace) =
                         catch_unwind(AssertUnwindSafe(|| self.serve_one(idx, &batches[idx], seed)))
                             .unwrap_or_else(|payload| {
-                                Err(OsrError::Internal(format!(
-                                    "batch worker panicked: {}",
-                                    panic_message(payload)
-                                )))
+                                (
+                                    Err(OsrError::Internal(format!(
+                                        "batch worker panicked: {}",
+                                        panic_message(payload)
+                                    ))),
+                                    None,
+                                )
                             });
+                    // A batch that panicked or gave up mid-attempt may leave
+                    // the thread-local divergence flag poisoned; scrub it so
+                    // the next batch this worker claims starts clean.
+                    osr_stats::divergence::clear();
                     results.lock()[idx] = Some(outcome);
+                    traces.lock()[idx] = trace;
                 });
             }
         });
         if scope_result.is_err() {
             // Unreachable with the in-loop catch_unwind above, but never
             // panic over it: unclaimed slots become typed errors below.
+        }
+        if let Some(sink) = &self.sink {
+            // Emit in batch-index order, after the scope: the stream is a
+            // pure function of (model, batches, seed, policy).
+            for trace in traces.into_inner().into_iter().flatten() {
+                sink.record(&TraceRecord::Batch(trace));
+            }
         }
         results
             .into_inner()
@@ -626,12 +684,18 @@ impl<'a> BatchServer<'a> {
 
     /// Serve batch `idx` under the full fault-tolerance policy: admission,
     /// watchdogged attempts with retry-with-reseed, then degradation.
+    /// Returns the outcome plus, for answered batches, the [`BatchTrace`]
+    /// destined for the trace sink (errors carry no trace).
     fn serve_one(
         &self,
         idx: usize,
         batch: &[Vec<f64>],
         seed: u64,
-    ) -> Result<ClassifyOutcome> {
+    ) -> (Result<ClassifyOutcome>, Option<BatchTrace>) {
+        // Record whether this worker thread entered the batch already
+        // poisoned — that would be a fault-isolation leak from an earlier
+        // batch, and the golden-trace suite asserts it never happens.
+        let inherited_poison = osr_stats::divergence::is_poisoned();
         // Injected NaN perturbations land *before* admission — proving the
         // admission pass, not the sampler, is what rejects them.
         #[cfg(feature = "fault-inject")]
@@ -653,13 +717,16 @@ impl<'a> BatchServer<'a> {
             }
         };
 
-        admission::validate_batch(self.model.dim(), batch)?;
+        if let Err(e) = admission::validate_batch(self.model.dim(), batch) {
+            return (Err(e), None);
+        }
 
         let mut ctl = ServeCtl::new(&self.policy);
         let max_attempts = self.policy.retry.max_attempts.max(1);
         let mut attempts_used = 0u32;
         let mut last_divergence = String::new();
         let mut resource_breach: Option<DegradeReason> = None;
+        let mut sweeps: Vec<SweepTrace> = Vec::new();
 
         for attempt in 0..max_attempts {
             attempts_used = attempt + 1;
@@ -671,6 +738,8 @@ impl<'a> BatchServer<'a> {
             } else {
                 derive_batch_seed(seed, idx)
             };
+            // Only the answering attempt's sweeps belong in the trace.
+            sweeps.clear();
             let result = with_fault_context(idx, attempt, || {
                 #[cfg(feature = "fault-inject")]
                 if let Some(osr_stats::faults::Fault::Panic { message }) =
@@ -683,16 +752,30 @@ impl<'a> BatchServer<'a> {
                 osr_stats::divergence::clear();
                 let mut rng = StdRng::seed_from_u64(attempt_seed);
                 match self.model.warm() {
-                    Some(warm) => serve_warm_attempt(self.model, warm, batch, &mut rng, &mut ctl),
-                    None => serve_cold_attempt(self.model, batch, &mut rng, &mut ctl),
+                    Some(warm) => serve_warm_attempt(
+                        self.model,
+                        warm,
+                        batch,
+                        &mut rng,
+                        &mut ctl,
+                        Some(&mut sweeps),
+                    ),
+                    None => serve_cold_attempt(
+                        self.model,
+                        batch,
+                        &mut rng,
+                        &mut ctl,
+                        Some(&mut sweeps),
+                    ),
                 }
             });
             match result {
                 Ok(mut outcome) => {
                     outcome.attempts = attempts_used;
-                    return Ok(outcome);
+                    let trace = self.batch_trace(idx, seed, &mut outcome, inherited_poison, sweeps);
+                    return (Ok(outcome), Some(trace));
                 }
-                Err(AttemptError::Fatal(e)) => return Err(e),
+                Err(AttemptError::Fatal(e)) => return (Err(e), None),
                 Err(AttemptError::Diverged(reason)) => last_divergence = reason,
                 Err(AttemptError::DeadlineExceeded) => {
                     resource_breach = Some(DegradeReason::DeadlineExceeded);
@@ -708,16 +791,46 @@ impl<'a> BatchServer<'a> {
         let reason = resource_breach.unwrap_or(DegradeReason::RetriesExhausted);
         if self.policy.degrade {
             if let Some(warm) = self.model.warm() {
-                return Ok(serve_degraded(self.model, warm, batch, reason, attempts_used));
+                let mut outcome = serve_degraded(self.model, warm, batch, reason, attempts_used);
+                // Degraded frozen inference runs no sweeps; the failed
+                // attempts' partial traces are dropped with the attempts.
+                let trace =
+                    self.batch_trace(idx, seed, &mut outcome, inherited_poison, Vec::new());
+                return (Ok(outcome), Some(trace));
             }
         }
-        Err(OsrError::Diverged {
-            attempts: attempts_used,
-            reason: match resource_breach {
-                Some(breach) => breach.to_string(),
-                None => last_divergence,
-            },
-        })
+        (
+            Err(OsrError::Diverged {
+                attempts: attempts_used,
+                reason: match resource_breach {
+                    Some(breach) => breach.to_string(),
+                    None => last_divergence,
+                },
+            }),
+            None,
+        )
+    }
+
+    /// Stamp `outcome` with its reproducible trace id and build the matching
+    /// sink record.
+    fn batch_trace(
+        &self,
+        idx: usize,
+        seed: u64,
+        outcome: &mut ClassifyOutcome,
+        inherited_poison: bool,
+        sweeps: Vec<SweepTrace>,
+    ) -> BatchTrace {
+        let trace_id = batch_trace_id(seed, idx);
+        outcome.trace_id = trace_id.clone();
+        BatchTrace {
+            trace_id,
+            batch: idx,
+            attempts: outcome.attempts,
+            served_via: outcome.served_via,
+            inherited_poison,
+            sweeps,
+        }
     }
 }
 

@@ -1,0 +1,73 @@
+//! External-view tests of the serving error surface: `OsrError` is
+//! `#[non_exhaustive]`, so this file deliberately lives outside the crate —
+//! it matches the way downstream code must, and its Display assertions pin
+//! the operator-facing wording of the admission errors.
+
+use hdp_osr_core::OsrError;
+
+#[test]
+fn admission_errors_display_the_offending_location() {
+    let cases: Vec<(OsrError, &[&str])> = vec![
+        (OsrError::EmptyBatch, &["empty test batch"]),
+        (
+            OsrError::DimensionMismatch { point: 4, expected: 2, got: 7 },
+            &["point 4", "dimension 7", "expected 2"],
+        ),
+        (
+            OsrError::NonFiniteFeature { point: 3, coord: 1 },
+            &["point 3", "non-finite", "coordinate 1"],
+        ),
+        (
+            OsrError::Diverged { attempts: 3, reason: "numerical divergence: x".into() },
+            &["3 attempt(s)", "numerical divergence: x"],
+        ),
+        (OsrError::Internal("slot lost".into()), &["internal serving failure", "slot lost"]),
+        (OsrError::InvalidTrainingSet("class 0 is empty".into()), &["invalid training set"]),
+        (OsrError::InvalidTestSet("ragged".into()), &["invalid test set"]),
+        (OsrError::InvalidConfig("rho must be > 0".into()), &["invalid config"]),
+    ];
+    for (err, fragments) in cases {
+        let text = err.to_string();
+        for fragment in fragments {
+            assert!(text.contains(fragment), "`{text}` should contain `{fragment}`");
+        }
+    }
+}
+
+#[test]
+fn non_exhaustive_matching_requires_a_wildcard_arm() {
+    // This is the shape every downstream consumer is forced into: naming
+    // the arms it handles and keeping a wildcard for variants future
+    // versions add. If `OsrError` ever loses `#[non_exhaustive]`, the
+    // wildcard below turns into an unreachable-pattern warning and the
+    // workspace's `-D warnings` clippy gate fails — that is the test.
+    fn triage(err: &OsrError) -> &'static str {
+        match err {
+            OsrError::EmptyBatch
+            | OsrError::DimensionMismatch { .. }
+            | OsrError::NonFiniteFeature { .. } => "reject-input",
+            OsrError::Diverged { .. } => "retry-later",
+            OsrError::Internal(_) => "page-oncall",
+            _ => "unknown-failure",
+        }
+    }
+
+    assert_eq!(triage(&OsrError::EmptyBatch), "reject-input");
+    assert_eq!(
+        triage(&OsrError::DimensionMismatch { point: 0, expected: 2, got: 3 }),
+        "reject-input"
+    );
+    assert_eq!(triage(&OsrError::NonFiniteFeature { point: 0, coord: 0 }), "reject-input");
+    assert_eq!(triage(&OsrError::Diverged { attempts: 1, reason: "x".into() }), "retry-later");
+    assert_eq!(triage(&OsrError::Internal("x".into())), "page-oncall");
+    assert_eq!(triage(&OsrError::InvalidConfig("x".into())), "unknown-failure");
+}
+
+#[test]
+fn errors_are_std_errors_with_stable_equality() {
+    let a = OsrError::DimensionMismatch { point: 1, expected: 2, got: 3 };
+    let b = OsrError::DimensionMismatch { point: 1, expected: 2, got: 3 };
+    assert_eq!(a, b);
+    let boxed: Box<dyn std::error::Error> = Box::new(a);
+    assert!(boxed.source().is_none(), "admission errors are leaf errors");
+}

@@ -67,6 +67,7 @@ impl HdpState {
         i: usize,
         rng: &mut R,
     ) {
+        self.seat_moves += 1;
         self.unseat(j, i);
         // A second handle to the group keeps `x` readable while the seating
         // bookkeeping below takes `&mut self`.
@@ -181,6 +182,7 @@ impl HdpState {
         ti: usize,
         rng: &mut R,
     ) {
+        self.seat_moves += 1;
         let old_dish = self.tables[j][ti].dish;
         let members = self.tables[j][ti].members.clone();
         let group = Arc::clone(&self.groups[j]);

@@ -30,12 +30,16 @@ mod engine;
 mod sampler;
 mod session;
 mod state;
+mod trace;
 mod watchdog;
 
 pub use concentration::{resample_alpha, resample_gamma};
 pub use sampler::Hdp;
 pub use session::{BatchSession, PosteriorSnapshot};
 pub use state::{DishId, DishSummary, GroupSummary, HdpConfig};
+pub use trace::{
+    SweepTrace, ALPHA_METRIC, GAMMA_METRIC, SEAT_MOVES_METRIC, SWEEPS_METRIC, SWEEP_TIME_METRIC,
+};
 pub use watchdog::Divergence;
 
 /// Errors produced while building or running an HDP.

@@ -20,6 +20,7 @@ use osr_stats::{NiwParams, NiwPosterior};
 
 use crate::session::PosteriorSnapshot;
 use crate::state::{DishId, DishSummary, GroupSummary, HdpConfig, HdpState};
+use crate::trace::{self, SweepTrace};
 use crate::{HdpError, Result};
 
 /// A Hierarchical Dirichlet Process mixture over a fixed set of groups.
@@ -30,6 +31,12 @@ pub struct Hdp {
     /// Cached prior-state posterior for `p(x)` under H (new tables/dishes).
     prior_post: NiwPosterior,
     initialized: bool,
+    /// Sweeps completed by this sampler (the `sweep` index of traces).
+    sweeps_done: usize,
+    /// Wall-time of the most recent sweep, nanoseconds.
+    last_sweep_wall_ns: u64,
+    /// Seating decisions taken in the most recent sweep.
+    last_sweep_moves: u64,
 }
 
 /// Validate one group against the base measure's dimension; shared between
@@ -81,10 +88,14 @@ impl Hdp {
                 dishes: Vec::new(),
                 gamma,
                 alpha,
+                seat_moves: 0,
             },
             config,
             prior_post,
             initialized: false,
+            sweeps_done: 0,
+            last_sweep_wall_ns: 0,
+            last_sweep_moves: 0,
         })
     }
 
@@ -95,7 +106,15 @@ impl Hdp {
         config: HdpConfig,
         prior_post: NiwPosterior,
     ) -> Self {
-        Self { state, config, prior_post, initialized: true }
+        Self {
+            state,
+            config,
+            prior_post,
+            initialized: true,
+            sweeps_done: 0,
+            last_sweep_wall_ns: 0,
+            last_sweep_moves: 0,
+        }
     }
 
     /// Run the configured number of Gibbs sweeps (initializing with a
@@ -109,6 +128,8 @@ impl Hdp {
 
     /// One full Gibbs sweep (tables, then dishes, then concentrations).
     pub fn sweep<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let started = std::time::Instant::now();
+        let moves_before = self.state.seat_moves;
         self.ensure_initialized(rng);
         for j in 0..self.state.groups.len() {
             self.state.seat_group_items(&self.prior_post, j, rng);
@@ -119,6 +140,19 @@ impl Hdp {
         if self.config.resample_concentrations {
             self.state.resample_concentrations(&self.config, rng);
         }
+        self.sweeps_done += 1;
+        self.last_sweep_wall_ns = started.elapsed().as_nanos() as u64;
+        self.last_sweep_moves = self.state.seat_moves - moves_before;
+        trace::record_sweep(&self.state, self.last_sweep_wall_ns, self.last_sweep_moves);
+    }
+
+    /// [`Self::sweep`] plus a [`SweepTrace`] of the post-sweep state.
+    /// Calling this `iterations` times consumes the exact RNG stream of
+    /// [`Self::run`] (initialization happens inside the first sweep either
+    /// way), so a traced fit reproduces an untraced one bit for bit.
+    pub fn sweep_traced<R: Rng + ?Sized>(&mut self, rng: &mut R) -> SweepTrace {
+        self.sweep(rng);
+        self.build_trace(self.state.joint_log_likelihood())
     }
 
     /// [`Self::sweep`] under the divergence watchdog: runs one sweep, then
@@ -131,6 +165,16 @@ impl Hdp {
         &mut self,
         rng: &mut R,
     ) -> std::result::Result<(), crate::Divergence> {
+        self.sweep_checked_traced(rng).map(|_| ())
+    }
+
+    /// [`Self::sweep_checked`], returning the [`SweepTrace`] on a healthy
+    /// sweep. The trace's log-likelihood doubles as the watchdog's
+    /// finiteness audit, so tracing adds no extra likelihood evaluation.
+    pub fn sweep_checked_traced<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> std::result::Result<SweepTrace, crate::Divergence> {
         #[cfg(feature = "fault-inject")]
         if osr_stats::faults::hit(osr_stats::faults::sites::ENGINE_SWEEP)
             == Some(osr_stats::faults::Fault::Diverge)
@@ -138,7 +182,19 @@ impl Hdp {
             osr_stats::divergence::poison("injected: engine sweep divergence");
         }
         self.sweep(rng);
-        crate::watchdog::check_health(&self.state)
+        let trace = self.build_trace(self.state.joint_log_likelihood());
+        crate::watchdog::check_health_with_ll(&self.state, trace.log_likelihood)?;
+        Ok(trace)
+    }
+
+    fn build_trace(&self, log_likelihood: f64) -> SweepTrace {
+        trace::build_trace(
+            &self.state,
+            self.sweeps_done - 1,
+            self.last_sweep_wall_ns,
+            self.last_sweep_moves,
+            log_likelihood,
+        )
     }
 
     fn ensure_initialized<R: Rng + ?Sized>(&mut self, rng: &mut R) {

@@ -30,6 +30,7 @@ use osr_stats::{NiwParams, NiwPosterior};
 
 use crate::sampler::validate_group;
 use crate::state::{DishId, DishSummary, GroupSummary, HdpConfig, HdpState};
+use crate::trace::{self, SweepTrace};
 use crate::watchdog::{self, Divergence};
 use crate::{Hdp, Result};
 
@@ -169,6 +170,9 @@ impl PosteriorSnapshot {
             prior_post: self.prior_post.clone(),
             batch_group,
             initialized: false,
+            sweeps_done: 0,
+            last_sweep_wall_ns: 0,
+            last_sweep_moves: 0,
         })
     }
 }
@@ -186,6 +190,12 @@ pub struct BatchSession {
     prior_post: NiwPosterior,
     batch_group: usize,
     initialized: bool,
+    /// Warm sweeps completed by this session (the `sweep` index of traces).
+    sweeps_done: usize,
+    /// Wall-time of the most recent sweep, nanoseconds.
+    last_sweep_wall_ns: u64,
+    /// Seating decisions taken in the most recent sweep.
+    last_sweep_moves: u64,
 }
 
 impl BatchSession {
@@ -210,12 +220,24 @@ impl BatchSession {
         {
             osr_stats::divergence::poison("injected: engine sweep divergence");
         }
+        let started = std::time::Instant::now();
+        let moves_before = self.state.seat_moves;
         self.ensure_initialized(rng);
         self.state.seat_group_items(&self.prior_post, self.batch_group, rng);
         self.state.resample_group_dishes(&self.prior_post, self.batch_group, rng);
         if self.config.resample_concentrations {
             self.state.resample_concentrations(&self.config, rng);
         }
+        self.sweeps_done += 1;
+        self.last_sweep_wall_ns = started.elapsed().as_nanos() as u64;
+        self.last_sweep_moves = self.state.seat_moves - moves_before;
+        trace::record_sweep(&self.state, self.last_sweep_wall_ns, self.last_sweep_moves);
+    }
+
+    /// [`Self::sweep`] plus a [`SweepTrace`] of the post-sweep state.
+    pub fn sweep_traced<R: Rng + ?Sized>(&mut self, rng: &mut R) -> SweepTrace {
+        self.sweep(rng);
+        self.build_trace(self.state.joint_log_likelihood())
     }
 
     /// [`Self::sweep`] under the divergence watchdog: runs one sweep, then
@@ -227,8 +249,30 @@ impl BatchSession {
         &mut self,
         rng: &mut R,
     ) -> std::result::Result<(), Divergence> {
+        self.sweep_checked_traced(rng).map(|_| ())
+    }
+
+    /// [`Self::sweep_checked`], returning the [`SweepTrace`] on a healthy
+    /// sweep. The trace's log-likelihood doubles as the watchdog's
+    /// finiteness audit, so tracing adds no extra likelihood evaluation.
+    pub fn sweep_checked_traced<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> std::result::Result<SweepTrace, Divergence> {
         self.sweep(rng);
-        watchdog::check_health(&self.state)
+        let trace = self.build_trace(self.state.joint_log_likelihood());
+        watchdog::check_health_with_ll(&self.state, trace.log_likelihood)?;
+        Ok(trace)
+    }
+
+    fn build_trace(&self, log_likelihood: f64) -> SweepTrace {
+        trace::build_trace(
+            &self.state,
+            self.sweeps_done - 1,
+            self.last_sweep_wall_ns,
+            self.last_sweep_moves,
+            log_likelihood,
+        )
     }
 
     /// Run `sweeps` warm sweeps (the short `decision_sweeps` schedule of

@@ -103,6 +103,11 @@ pub(crate) struct HdpState {
     pub gamma: f64,
     /// Group-level concentration α₀.
     pub alpha: f64,
+    /// Cumulative count of seating decisions (item reseatings per Eq. 7 plus
+    /// table dish resamplings per Eq. 8) since this state was created.
+    /// Cloned along with the state, so a session's per-sweep delta is
+    /// independent of how many sweeps the checkpoint itself ran.
+    pub seat_moves: u64,
 }
 
 impl HdpState {
@@ -288,6 +293,7 @@ mod tests {
             dishes: vec![],
             gamma: 1.0,
             alpha: 1.0,
+            seat_moves: 0,
         }
     }
 

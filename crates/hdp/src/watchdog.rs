@@ -46,15 +46,21 @@ impl std::fmt::Display for Divergence {
 impl std::error::Error for Divergence {}
 
 /// Post-sweep health check: consume the thread's poison flag, then audit the
-/// state's concentrations and joint log-likelihood for finiteness.
-pub(crate) fn check_health(state: &HdpState) -> Result<(), Divergence> {
+/// state's concentrations and the joint log-likelihood for finiteness. The
+/// likelihood is supplied by the caller — the traced sweep paths already
+/// compute it for the [`crate::SweepTrace`], so the audit reuses that value
+/// instead of summing the dish marginals a second time.
+pub(crate) fn check_health_with_ll(
+    state: &HdpState,
+    joint_log_likelihood: f64,
+) -> Result<(), Divergence> {
     if let Some(reason) = osr_stats::divergence::take() {
         return Err(Divergence::Numerical(reason));
     }
     if !state.gamma.is_finite() || !state.alpha.is_finite() {
         return Err(Divergence::NonFiniteConcentration { gamma: state.gamma, alpha: state.alpha });
     }
-    if !state.joint_log_likelihood().is_finite() {
+    if !joint_log_likelihood.is_finite() {
         return Err(Divergence::NonFiniteLikelihood);
     }
     Ok(())

@@ -7,55 +7,78 @@
 //! batch sessions vs cold transductive runs) can be compared in units that
 //! do not depend on the machine.
 //!
-//! Counters are relaxed atomics: cheap enough for the sampler's inner loop,
-//! exact under any thread interleaving. They are process-global, so callers
-//! measuring a specific region should record a before/after delta rather
-//! than resetting (other threads may be sampling concurrently).
+//! Since the metrics registry ([`crate::metrics`]) landed, these counters
+//! are named metrics in the global registry — same relaxed-atomic hot path
+//! as before, but now they also appear in [`crate::metrics::global`]
+//! snapshots next to the sampler's sweep metrics. The free-function API is
+//! kept for existing callers; each function caches its registry handle in a
+//! `OnceLock` so the hot path never touches the registry lock.
+//!
+//! Counters are process-global, so callers measuring a specific region
+//! should record a before/after delta rather than resetting (other threads
+//! may be sampling concurrently).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
-static PREDICTIVE_LOGPDF_CALLS: AtomicU64 = AtomicU64::new(0);
-static SERVE_RETRIES: AtomicU64 = AtomicU64::new(0);
-static DEGRADED_BATCHES: AtomicU64 = AtomicU64::new(0);
+use crate::metrics::{global, Counter};
+
+/// Registry name of the posterior-predictive evaluation counter.
+pub const PREDICTIVE_LOGPDF_CALLS: &str = "stats.predictive_logpdf_calls";
+/// Registry name of the serve-retry counter.
+pub const SERVE_RETRIES: &str = "serving.retries";
+/// Registry name of the degraded-batch counter.
+pub const DEGRADED_BATCHES: &str = "serving.degraded_batches";
+
+fn handle(cell: &'static OnceLock<Counter>, name: &str) -> &'static Counter {
+    cell.get_or_init(|| global().counter(name))
+}
+
+fn predictive_handle() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    handle(&CELL, PREDICTIVE_LOGPDF_CALLS)
+}
+
+fn retries_handle() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    handle(&CELL, SERVE_RETRIES)
+}
+
+fn degraded_handle() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    handle(&CELL, DEGRADED_BATCHES)
+}
 
 #[inline]
 pub(crate) fn record_predictive_logpdf() {
-    PREDICTIVE_LOGPDF_CALLS.fetch_add(1, Ordering::Relaxed);
+    predictive_handle().inc();
 }
 
-/// Total posterior-predictive evaluations since process start (or the last
-/// [`reset_predictive_logpdf_calls`]).
+/// Total posterior-predictive evaluations since process start.
 pub fn predictive_logpdf_calls() -> u64 {
-    PREDICTIVE_LOGPDF_CALLS.load(Ordering::Relaxed)
-}
-
-/// Reset the predictive-call counter to zero. Prefer before/after deltas in
-/// code that may share the process with other sampling threads.
-pub fn reset_predictive_logpdf_calls() {
-    PREDICTIVE_LOGPDF_CALLS.store(0, Ordering::Relaxed);
+    predictive_handle().get()
 }
 
 /// Record one serve-attempt retry (an attempt launched after a divergent
 /// previous attempt on the same batch).
 #[inline]
 pub fn record_serve_retry() {
-    SERVE_RETRIES.fetch_add(1, Ordering::Relaxed);
+    retries_handle().inc();
 }
 
 /// Total serve-attempt retries since process start.
 pub fn serve_retries() -> u64 {
-    SERVE_RETRIES.load(Ordering::Relaxed)
+    retries_handle().get()
 }
 
 /// Record one batch answered via degraded frozen inference.
 #[inline]
 pub fn record_degraded_batch() {
-    DEGRADED_BATCHES.fetch_add(1, Ordering::Relaxed);
+    degraded_handle().inc();
 }
 
 /// Total batches answered via degraded frozen inference since process start.
 pub fn degraded_batches() -> u64 {
-    DEGRADED_BATCHES.load(Ordering::Relaxed)
+    degraded_handle().get()
 }
 
 #[cfg(test)]
@@ -69,5 +92,13 @@ mod tests {
             record_predictive_logpdf();
         }
         assert!(predictive_logpdf_calls() >= before + 3);
+    }
+
+    #[test]
+    fn counters_are_visible_in_the_global_registry() {
+        let before = global().snapshot().counter(SERVE_RETRIES);
+        record_serve_retry();
+        let after = global().snapshot().counter(SERVE_RETRIES);
+        assert!(after > before);
     }
 }

@@ -1,0 +1,288 @@
+//! MCMC convergence diagnostics over scalar traces.
+//!
+//! The collapsed Gibbs sampler exposes its joint log-likelihood once per
+//! sweep; this module turns that trace into the three numbers a serving
+//! operator actually tunes on:
+//!
+//! * **split-R̂** ([`split_rhat`]) — the Gelman–Rubin potential scale
+//!   reduction factor computed on the two halves of a single chain (or on
+//!   the split halves of several chains, [`split_rhat_chains`]). Splitting
+//!   makes the statistic sensitive to trends *within* one chain: a still
+//!   warming-up sampler has halves with different means and R̂ ≫ 1, while a
+//!   stationary chain gives R̂ ≈ 1.
+//! * **effective sample size** ([`effective_sample_size`]) — `n / τ` where
+//!   `τ = 1 + 2 Σ ρ_k` truncated by Geyer's initial-positive-sequence rule
+//!   (stop summing when a consecutive autocorrelation pair `ρ_{2k} +
+//!   ρ_{2k+1}` turns non-positive).
+//! * **burn-in recommendation** ([`burn_in_recommendation`]) — the first
+//!   sweep whose value reaches the band the chain's settled second half
+//!   occupies (mean − 2·sd of the last half), capped at `n/2`.
+//!
+//! Every function is total on finite-or-not inputs: non-finite samples are
+//! dropped, degenerate traces (too short, constant) return the neutral
+//! values (R̂ = 1, ESS = n, burn-in = 0), and outputs are clamped finite —
+//! diagnostics must never take down the serving path they observe.
+
+use serde::{Deserialize, Serialize};
+
+/// R̂ reported for a chain whose halves have split means but (near-)zero
+/// within-half variance; also the general upper clamp.
+const MAX_RHAT: f64 = 1e6;
+
+/// Traces shorter than this are treated as "no evidence either way".
+const MIN_LEN: usize = 4;
+
+fn finite(xs: &[f64]) -> Vec<f64> {
+    xs.iter().copied().filter(|x| x.is_finite()).collect()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased (n−1) sample variance; 0 for fewer than two points.
+fn sample_var(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Split-R̂ of a single scalar chain (split into first and second half).
+///
+/// Returns 1.0 for chains too short or too degenerate to judge, and a
+/// finite value in `[0, 1e6]` otherwise.
+pub fn split_rhat(trace: &[f64]) -> f64 {
+    let xs = finite(trace);
+    if xs.len() < MIN_LEN {
+        return 1.0;
+    }
+    let half = xs.len() / 2;
+    rhat_of(&[&xs[..half], &xs[xs.len() - half..]])
+}
+
+/// Split-R̂ across several chains: each chain is halved and all halves enter
+/// the between/within decomposition, truncated to the shortest half length.
+pub fn split_rhat_chains(chains: &[&[f64]]) -> f64 {
+    let cleaned: Vec<Vec<f64>> = chains.iter().map(|c| finite(c)).collect();
+    let mut halves: Vec<&[f64]> = Vec::new();
+    for c in &cleaned {
+        if c.len() >= MIN_LEN {
+            let half = c.len() / 2;
+            halves.push(&c[..half]);
+            halves.push(&c[c.len() - half..]);
+        }
+    }
+    if halves.len() < 2 {
+        return 1.0;
+    }
+    rhat_of(&halves)
+}
+
+fn rhat_of(subchains: &[&[f64]]) -> f64 {
+    let len = subchains.iter().map(|c| c.len()).min().unwrap_or(0);
+    if len < 2 {
+        return 1.0;
+    }
+    let truncated: Vec<&[f64]> = subchains.iter().map(|c| &c[..len]).collect();
+    let means: Vec<f64> = truncated.iter().map(|c| mean(c)).collect();
+    let within = mean(&truncated.iter().map(|c| sample_var(c)).collect::<Vec<_>>());
+    let between = sample_var(&means); // = B/n in Gelman–Rubin notation
+    if !within.is_finite() || !between.is_finite() {
+        return 1.0;
+    }
+    if within <= f64::EPSILON * (1.0 + means.iter().fold(0.0f64, |a, m| a.max(m.abs()))) {
+        // Flat sub-chains: identical means → converged; split means → the
+        // clearest possible non-convergence.
+        return if between <= f64::EPSILON { 1.0 } else { MAX_RHAT };
+    }
+    let var_plus = (len as f64 - 1.0) / len as f64 * within + between;
+    let rhat = (var_plus / within).sqrt();
+    if rhat.is_finite() {
+        rhat.clamp(0.0, MAX_RHAT)
+    } else {
+        1.0
+    }
+}
+
+/// Effective sample size of a scalar chain via Geyer's initial positive
+/// sequence. Always finite, clamped to `[1, n]`; degenerate traces
+/// (short, constant) report `n` — autocorrelation evidence is absent, not
+/// adverse.
+pub fn effective_sample_size(trace: &[f64]) -> f64 {
+    let xs = finite(trace);
+    let n = xs.len();
+    if n < MIN_LEN {
+        return n as f64;
+    }
+    let m = mean(&xs);
+    // Biased (1/n) autocovariances, the standard choice for ESS.
+    let c0 = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / n as f64;
+    if !(c0 > 0.0) || !c0.is_finite() {
+        return n as f64;
+    }
+    let autocov = |lag: usize| -> f64 {
+        xs[..n - lag].iter().zip(&xs[lag..]).map(|(a, b)| (a - m) * (b - m)).sum::<f64>()
+            / n as f64
+    };
+    let max_lag = n / 2;
+    let mut tau = 1.0;
+    let mut k = 1;
+    while k < max_lag {
+        let pair = (autocov(k) + autocov(k + 1)) / c0;
+        if !pair.is_finite() || pair <= 0.0 {
+            break;
+        }
+        tau += 2.0 * pair;
+        k += 2;
+    }
+    let ess = n as f64 / tau.max(1.0 / n as f64);
+    if ess.is_finite() {
+        ess.clamp(1.0, n as f64)
+    } else {
+        n as f64
+    }
+}
+
+/// First sweep index from which the chain sits in the band its settled
+/// second half occupies: `trace[i] ≥ mean(last half) − 2·sd(last half)`.
+/// Capped at `n/2`; degenerate traces recommend 0.
+pub fn burn_in_recommendation(trace: &[f64]) -> usize {
+    let xs = finite(trace);
+    let n = xs.len();
+    if n < MIN_LEN {
+        return 0;
+    }
+    let tail = &xs[n / 2..];
+    let mu = mean(tail);
+    let sd = sample_var(tail).sqrt();
+    // Widen by a relative epsilon so a perfectly flat settled half (sd = 0)
+    // still accepts values equal to its mean.
+    let threshold = mu - 2.0 * sd - 1e-9 * (1.0 + mu.abs());
+    xs.iter().position(|&x| x >= threshold).unwrap_or(n / 2).min(n / 2)
+}
+
+/// Summary of one scalar chain, as surfaced by a fit report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainDiagnostics {
+    /// Chain length (number of sweeps observed).
+    pub n: usize,
+    /// Split-R̂ of the chain (1 ≈ converged).
+    pub rhat: f64,
+    /// Effective sample size in `[1, n]`.
+    pub ess: f64,
+    /// Recommended number of initial sweeps to discard, `≤ n/2`.
+    pub burn_in: usize,
+}
+
+impl ChainDiagnostics {
+    /// Diagnose a scalar trace (typically the per-sweep joint
+    /// log-likelihood).
+    pub fn from_trace(trace: &[f64]) -> Self {
+        Self {
+            n: trace.len(),
+            rhat: split_rhat(trace),
+            ess: effective_sample_size(trace),
+            burn_in: burn_in_recommendation(trace),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn iid_chain(seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| crate::sampling::standard_normal(&mut rng)).collect()
+    }
+
+    #[test]
+    fn rhat_near_one_on_iid_chain() {
+        let r = split_rhat(&iid_chain(7, 2000));
+        assert!((r - 1.0).abs() < 0.05, "iid split-R̂ was {r}");
+    }
+
+    #[test]
+    fn rhat_large_on_split_mean_chain() {
+        let mut xs = iid_chain(11, 500);
+        xs.extend(iid_chain(12, 500).iter().map(|x| x + 10.0));
+        let r = split_rhat(&xs);
+        assert!(r > 3.0, "split-mean R̂ was {r}");
+    }
+
+    #[test]
+    fn rhat_multichain_detects_disagreement() {
+        let a = iid_chain(1, 400);
+        let b: Vec<f64> = iid_chain(2, 400).iter().map(|x| x + 8.0).collect();
+        let agree = split_rhat_chains(&[&a, &iid_chain(3, 400)]);
+        let disagree = split_rhat_chains(&[&a, &b]);
+        assert!((agree - 1.0).abs() < 0.1, "agreeing chains: {agree}");
+        assert!(disagree > 2.0, "disagreeing chains: {disagree}");
+    }
+
+    #[test]
+    fn ess_near_n_for_iid_and_shrinks_under_autocorrelation() {
+        let iid = iid_chain(21, 1000);
+        let ess_iid = effective_sample_size(&iid);
+        assert!(ess_iid > 600.0, "iid ESS was {ess_iid}");
+
+        // AR(1) with φ = 0.9: theoretical ESS ≈ n·(1−φ)/(1+φ) ≈ n/19.
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut ar = vec![0.0f64];
+        for _ in 1..1000 {
+            let prev = *ar.last().unwrap();
+            ar.push(0.9 * prev + crate::sampling::standard_normal(&mut rng));
+        }
+        let ess_ar = effective_sample_size(&ar);
+        assert!(ess_ar < ess_iid / 3.0, "AR(1) ESS {ess_ar} vs iid {ess_iid}");
+        assert!(ess_ar >= 1.0);
+    }
+
+    #[test]
+    fn ess_monotone_in_chain_length_for_iid() {
+        // More iid samples must not *reduce* information: ESS of a prefix
+        // stays (weakly) below ESS of the full chain, up to estimator noise.
+        let xs = iid_chain(31, 4000);
+        let short = effective_sample_size(&xs[..500]);
+        let long = effective_sample_size(&xs);
+        assert!(long > short, "ESS(4000)={long} vs ESS(500)={short}");
+    }
+
+    #[test]
+    fn burn_in_finds_the_ramp() {
+        // 20 sweeps climbing from -100, then 180 settled around 0.
+        let mut xs: Vec<f64> = (0..20).map(|i| -100.0 + 5.0 * i as f64).collect();
+        xs.extend(iid_chain(41, 180));
+        let b = burn_in_recommendation(&xs);
+        assert!((10..=25).contains(&b), "burn-in was {b}");
+    }
+
+    #[test]
+    fn degenerate_traces_give_neutral_values() {
+        for trace in [&[][..], &[1.0][..], &[2.0, 2.0, 2.0, 2.0, 2.0][..]] {
+            let d = ChainDiagnostics::from_trace(trace);
+            assert!(d.rhat.is_finite());
+            assert!(d.ess.is_finite());
+            assert!(d.burn_in <= trace.len() / 2);
+        }
+        let flat = vec![3.5; 64];
+        assert_eq!(split_rhat(&flat), 1.0);
+        assert_eq!(effective_sample_size(&flat), 64.0);
+        assert_eq!(burn_in_recommendation(&flat), 0);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped_not_propagated() {
+        let mut xs = iid_chain(51, 200);
+        xs[3] = f64::NAN;
+        xs[77] = f64::INFINITY;
+        xs[150] = f64::NEG_INFINITY;
+        let d = ChainDiagnostics::from_trace(&xs);
+        assert!(d.rhat.is_finite());
+        assert!(d.ess.is_finite());
+    }
+}

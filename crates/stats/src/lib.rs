@@ -18,9 +18,12 @@
 //!   W-OSVM and P_I-SVM baselines,
 //! * [`descriptive`] — means, standard deviations and quantiles for the
 //!   experiment reports,
-//! * [`counters`] — process-wide relaxed-atomic instrumentation (predictive
-//!   evaluation counts, serving retries/degradations) surfaced by the
-//!   benchmark harness,
+//! * [`metrics`] — the lock-free process-wide metrics registry (named
+//!   counters, gauges, log2-bucketed histograms) every crate reports into,
+//! * [`counters`] — the legacy free-function instrumentation API, now backed
+//!   by named metrics in the [`metrics`] registry,
+//! * [`diagnostics`] — MCMC convergence diagnostics (split-R̂, effective
+//!   sample size, burn-in recommendation) over per-sweep scalar traces,
 //! * [`divergence`] — the thread-local numerical-divergence flag polled by
 //!   the serving watchdog,
 //! * [`faults`] — the deterministic fault-injection harness (only with the
@@ -31,9 +34,11 @@
 
 pub mod counters;
 pub mod descriptive;
+pub mod diagnostics;
 pub mod divergence;
 #[cfg(feature = "fault-inject")]
 pub mod faults;
+pub mod metrics;
 pub mod mvn;
 pub mod niw;
 pub mod sampling;

@@ -1,0 +1,456 @@
+//! Lock-free process-wide metrics registry.
+//!
+//! The registry generalizes the ad-hoc atomics in [`crate::counters`]: named
+//! counters, gauges and fixed-bucket histograms that any crate in the
+//! workspace can register and update without coordination. The design
+//! separates the *cold* path (registration: a `RwLock<BTreeMap>` keyed by
+//! metric name, hit once per call-site via `OnceLock` caching) from the *hot*
+//! path (updates: relaxed atomic operations on `Arc`-shared cells, no locks,
+//! no allocation). A sampler sweep therefore pays a handful of
+//! `fetch_add(Relaxed)`s — cheap enough for the CRF inner loop and exact
+//! under any thread interleaving.
+//!
+//! Histograms use 65 fixed log2 buckets: bucket 0 holds the value `0`,
+//! bucket `b ≥ 1` holds values in `[2^(b-1), 2^b)`. Bucketing a value is one
+//! `leading_zeros` instruction, and quantile estimates come back as the upper
+//! bound of the bucket containing the requested rank — coarse (a factor-of-2
+//! resolution) but entirely allocation- and lock-free to record.
+//!
+//! Metrics are process-global and monotone; code measuring a region should
+//! take a [`MetricsSnapshot`] before and after and diff them with
+//! [`MetricsSnapshot::delta_since`] rather than resetting (other threads may
+//! be sampling concurrently).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotone counter. Cloning shares the underlying cell.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    fn new() -> Self {
+        Self(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` gauge. Cloning shares the underlying cell.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    fn new() -> Self {
+        Self(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+
+    /// Overwrite the gauge. Concurrent writers race benignly: the gauge
+    /// reports *a* recently written value, which is all a gauge promises.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Most recently written value (0.0 if never set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log2-bucketed histogram of `u64` observations (e.g. nanoseconds).
+/// Cloning shares the underlying cells.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    fn new() -> Self {
+        Self(Arc::new(HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    /// Bucket index of a value: 0 for 0, else `64 - leading_zeros`, so
+    /// bucket `b` covers `[2^(b-1), 2^b)`.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.0.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    fn read(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            buckets: self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// Frozen histogram state: bucket counts plus running count/sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wraps at `u64::MAX`; irrelevant in
+    /// practice for nanosecond timings).
+    pub sum: u64,
+    /// Per-bucket counts, `HISTOGRAM_BUCKETS` long.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of the bucket containing the `q`-quantile observation
+    /// (`q` in `[0, 1]`). Resolution is a factor of two; an empty histogram
+    /// reports 0.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return match b {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << b) - 1,
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Observations recorded since `earlier` (bucketwise saturating
+    /// difference, so a mismatched baseline degrades to zeros rather than
+    /// wrapping).
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+                .map(|(now, then)| now.saturating_sub(*then))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time copy of every registered metric, in name order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// All `(name, value)` pairs, sorted by name.
+    pub fn entries(&self) -> &[(String, MetricValue)] {
+        &self.entries
+    }
+
+    /// Value of one metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Counter reading by name (0 if absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(n)) => *n,
+            _ => 0,
+        }
+    }
+
+    /// Histogram state by name (empty if absent or not a histogram).
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => h.clone(),
+            _ => HistogramSnapshot { count: 0, sum: 0, buckets: vec![0; HISTOGRAM_BUCKETS] },
+        }
+    }
+
+    /// Activity since `earlier`: counters and histograms are differenced,
+    /// gauges keep their current reading. Metrics absent from `earlier`
+    /// (registered in between) are kept whole.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(name, value)| {
+                let diffed = match (value, earlier.get(name)) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                        MetricValue::Counter(now.saturating_sub(*then))
+                    }
+                    (MetricValue::Histogram(now), Some(MetricValue::Histogram(then))) => {
+                        MetricValue::Histogram(now.delta_since(then))
+                    }
+                    _ => value.clone(),
+                };
+                (name.clone(), diffed)
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+enum Slot {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Named registry of counters, gauges and histograms.
+///
+/// Registration (`counter`/`gauge`/`histogram`) is the only locked
+/// operation; the returned handles update shared atomics directly. Asking
+/// for an existing name returns a handle to the same cell; asking for an
+/// existing name *as a different kind* panics — that is a programming error,
+/// not a runtime condition.
+pub struct MetricsRegistry {
+    slots: RwLock<BTreeMap<String, Slot>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry. Most code wants [`global`] instead.
+    pub fn new() -> Self {
+        Self { slots: RwLock::new(BTreeMap::new()) }
+    }
+
+    fn with_slot<T>(&self, name: &str, make: impl FnOnce() -> Slot, pick: impl Fn(&Slot) -> Option<T>) -> T {
+        if let Some(slot) = self.slots.read().expect("metrics registry poisoned").get(name) {
+            return pick(slot)
+                .unwrap_or_else(|| panic!("metric `{name}` already registered as another kind"));
+        }
+        let mut slots = self.slots.write().expect("metrics registry poisoned");
+        let slot = slots.entry(name.to_string()).or_insert_with(make);
+        pick(slot).unwrap_or_else(|| panic!("metric `{name}` already registered as another kind"))
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.with_slot(
+            name,
+            || Slot::Counter(Counter::new()),
+            |s| match s {
+                Slot::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.with_slot(
+            name,
+            || Slot::Gauge(Gauge::new()),
+            |s| match s {
+                Slot::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or register the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.with_slot(
+            name,
+            || Slot::Histogram(Histogram::new()),
+            |s| match s {
+                Slot::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Copy every registered metric. The copy is not atomic across metrics
+    /// (concurrent updates may land between reads), but each individual
+    /// reading is consistent — fine for before/after deltas and reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let slots = self.slots.read().expect("metrics registry poisoned");
+        let entries = slots
+            .iter()
+            .map(|(name, slot)| {
+                let value = match slot {
+                    Slot::Counter(c) => MetricValue::Counter(c.get()),
+                    Slot::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Slot::Histogram(h) => MetricValue::Histogram(h.read()),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide registry every workspace crate reports into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_one_cell() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.snapshot().counter("x"), 3);
+    }
+
+    #[test]
+    fn gauge_reports_last_write() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("alpha");
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        assert_eq!(reg.snapshot().get("alpha"), Some(&MetricValue::Gauge(2.5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "another kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _c = reg.counter("dual");
+        let _g = reg.gauge("dual");
+    }
+
+    #[test]
+    fn log2_bucketing_is_exact_at_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_quantiles_walk_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t");
+        for v in [1u64, 1, 1, 1000, 1000, 1_000_000] {
+            h.record(v);
+        }
+        let snap = reg.snapshot().histogram("t");
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.quantile(0.5), 1);
+        // 1000 lands in bucket 10 → upper bound 2^10 - 1.
+        assert_eq!(snap.quantile(0.75), 1023);
+        // 1_000_000 lands in bucket 20 → upper bound 2^20 - 1.
+        assert_eq!(snap.quantile(1.0), (1 << 20) - 1);
+        assert_eq!(snap.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let reg = MetricsRegistry::new();
+        let _h = reg.histogram("empty");
+        assert_eq!(reg.snapshot().histogram("empty").quantile(0.99), 0);
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_a_region() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("calls");
+        let h = reg.histogram("lat");
+        c.add(10);
+        h.record(5);
+        let before = reg.snapshot();
+        c.add(7);
+        h.record(9);
+        h.record(9);
+        let delta = reg.snapshot().delta_since(&before);
+        assert_eq!(delta.counter("calls"), 7);
+        let lat = delta.histogram("lat");
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.sum, 18);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = global().counter("metrics.test.global");
+        let b = global().counter("metrics.test.global");
+        let before = a.get();
+        b.inc();
+        assert_eq!(a.get(), before + 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Tests for the observability substrate: totality of the convergence
+//! diagnostics on hostile traces, and exactness of the lock-free metrics
+//! registry under concurrent hammering.
+
+use osr_stats::diagnostics::{
+    burn_in_recommendation, effective_sample_size, split_rhat, split_rhat_chains,
+    ChainDiagnostics,
+};
+use osr_stats::metrics::MetricsRegistry;
+use proptest::prelude::*;
+
+proptest! {
+    /// Diagnostics are total: whatever finite trace comes in — constant,
+    /// tiny, huge dynamic range, near-degenerate — nothing panics and every
+    /// output is finite and in its documented range.
+    #[test]
+    fn diagnostics_never_panic_or_go_non_finite(
+        xs in prop::collection::vec(-1e12..1e12f64, 0..300),
+    ) {
+        let d = ChainDiagnostics::from_trace(&xs);
+        prop_assert!(d.rhat.is_finite(), "rhat = {}", d.rhat);
+        prop_assert!((0.0..=1e6).contains(&d.rhat));
+        prop_assert!(d.ess.is_finite(), "ess = {}", d.ess);
+        prop_assert!(d.ess <= xs.len().max(1) as f64 + 1e-9);
+        prop_assert!(d.burn_in <= xs.len() / 2);
+    }
+
+    /// Constant traces (zero variance everywhere) are the classic division
+    /// hazard; they must report the neutral values.
+    #[test]
+    fn constant_traces_are_neutral(value in -1e9..1e9f64, n in 0usize..128) {
+        let xs = vec![value; n];
+        prop_assert_eq!(split_rhat(&xs), 1.0);
+        let ess = effective_sample_size(&xs);
+        prop_assert!(ess.is_finite());
+        prop_assert_eq!(burn_in_recommendation(&xs), 0);
+    }
+
+    /// Traces polluted with non-finite samples never leak them into the
+    /// outputs.
+    #[test]
+    fn non_finite_pollution_is_contained(
+        xs in prop::collection::vec(-1e6..1e6f64, 8..64),
+        poison_at in prop::collection::vec(0usize..64, 0..8),
+    ) {
+        let mut xs = xs;
+        for (j, &i) in poison_at.iter().enumerate() {
+            let i = i % xs.len();
+            xs[i] = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][j % 3];
+        }
+        let d = ChainDiagnostics::from_trace(&xs);
+        prop_assert!(d.rhat.is_finite());
+        prop_assert!(d.ess.is_finite());
+        let refs: Vec<&[f64]> = vec![&xs, &xs];
+        prop_assert!(split_rhat_chains(&refs).is_finite());
+    }
+}
+
+/// Hammer the registry from many scoped threads and assert the *exact* sum:
+/// relaxed atomics lose nothing, and handle registration racing with updates
+/// still lands every increment on the same cell.
+#[test]
+fn registry_counts_exactly_under_concurrency() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+
+    let reg = MetricsRegistry::new();
+    crossbeam::thread::scope(|s| {
+        for t in 0..THREADS {
+            let reg = &reg;
+            s.spawn(move |_| {
+                // Every thread re-registers by name: handles must alias.
+                let c = reg.counter("hammer.count");
+                let h = reg.histogram("hammer.values");
+                let g = reg.gauge("hammer.last");
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record(i % 1024);
+                    g.set(t as f64);
+                }
+            });
+        }
+    })
+    .expect("no panics");
+
+    let snap = reg.snapshot();
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(snap.counter("hammer.count"), total, "counter lost increments");
+    let hist = snap.histogram("hammer.values");
+    assert_eq!(hist.count, total, "histogram lost observations");
+    assert_eq!(
+        hist.buckets.iter().sum::<u64>(),
+        total,
+        "bucket totals disagree with the observation count"
+    );
+    let expected_sum = THREADS as u64 * (0..PER_THREAD).map(|i| i % 1024).sum::<u64>();
+    assert_eq!(hist.sum, expected_sum, "histogram sum drifted");
+    let last = match snap.get("hammer.last") {
+        Some(osr_stats::metrics::MetricValue::Gauge(v)) => *v,
+        other => panic!("gauge missing: {other:?}"),
+    };
+    assert!((0.0..THREADS as f64).contains(&last), "gauge holds a written value");
+}

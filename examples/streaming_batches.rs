@@ -22,12 +22,16 @@
 //! cargo run --release --example streaming_batches
 //! ```
 
-use hdp_osr::core::{BatchServer, FrozenModel, HdpOsr, HdpOsrConfig, ServingMode};
+use hdp_osr::core::{
+    BatchServer, FrozenModel, HdpOsr, HdpOsrConfig, JsonlSink, ServingMode, TraceRecord,
+    TraceSink,
+};
 use hdp_osr::dataset::protocol::{GroundTruth, OpenSetSplit, SplitConfig, TestSet};
 use hdp_osr::dataset::synthetic::pendigits_config;
 use hdp_osr::eval::metrics::OpenSetConfusion;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -71,9 +75,27 @@ fn main() {
     let model = HdpOsr::fit(&warm_config, &split.train).expect("warm fit");
     println!("warm fit (burn-in + checkpoint):   once, {:>9.2?}", t0.elapsed());
 
+    // The fit kept its burn-in trace; the diagnostics say whether 20 sweeps
+    // were enough (R̂ near 1, healthy ESS) and where the chain settled.
+    let report = model.fit_report().expect("warm fits keep their report");
+    println!(
+        "fit diagnostics: split-R\u{302} = {:.3}, ESS = {:.1}/{}, suggested burn-in = {}",
+        report.diagnostics.rhat,
+        report.diagnostics.ess,
+        report.diagnostics.n,
+        report.diagnostics.burn_in
+    );
+
     // …then serve every chunk concurrently from the checkpoint. Results are
-    // a pure function of (model, batches, seed) — worker count irrelevant.
-    let server = BatchServer::new(&model);
+    // a pure function of (model, batches, seed) — worker count irrelevant,
+    // and so is the JSONL trace stream the attached sink writes.
+    let metrics_before = hdp_osr::stats::metrics::global().snapshot();
+    let _ = std::fs::create_dir_all("results");
+    let sink: Arc<JsonlSink> = Arc::new(
+        JsonlSink::create("results/trace_streaming.jsonl").expect("results/ is writable"),
+    );
+    sink.record(&TraceRecord::Fit(report.clone()));
+    let server = BatchServer::new(&model).with_trace_sink(sink);
     let batches: Vec<Vec<Vec<f64>>> = chunks.iter().map(|c| c.points.clone()).collect();
     let t0 = Instant::now();
     let outcomes = server.classify_batches(&batches, 11);
@@ -101,6 +123,23 @@ fn main() {
         server.workers(),
         n_chunks as f64 / warm_time.as_secs_f64().max(1e-9)
     );
+
+    // What the metrics registry saw during the warm region: total sampler
+    // work plus the fault-tolerance counters (all zero on a healthy run).
+    let delta = hdp_osr::stats::metrics::global().snapshot().delta_since(&metrics_before);
+    let sweep_times = delta.histogram(hdp_osr::hdp::SWEEP_TIME_METRIC);
+    println!(
+        "metrics: {} sweeps, {} seat-moves, {} predictive-logpdf calls, \
+         {} retries, {} degraded; sweep time p50≈{:.0} µs p99≈{:.0} µs",
+        delta.counter(hdp_osr::hdp::SWEEPS_METRIC),
+        delta.counter(hdp_osr::hdp::SEAT_MOVES_METRIC),
+        delta.counter(hdp_osr::stats::counters::PREDICTIVE_LOGPDF_CALLS),
+        delta.counter(hdp_osr::stats::counters::SERVE_RETRIES),
+        delta.counter(hdp_osr::stats::counters::DEGRADED_BATCHES),
+        sweep_times.quantile(0.5) as f64 / 1e3,
+        sweep_times.quantile(0.99) as f64 / 1e3,
+    );
+    println!("trace stream: results/trace_streaming.jsonl (1 Fit + {n_chunks} Batch records)");
 
     // Fastest tier: freeze the posterior of one collective pass and label
     // later points inductively, without any sampling at all.

@@ -4,6 +4,11 @@
 # vendored dependency shims) — then the same test + clippy gate again with
 # the deterministic fault-injection harness compiled in, which unlocks the
 # serving stack's robustness acceptance suite (tests/fault_injection.rs).
+#
+# On top of the blanket suites, the observability layer gets targeted runs
+# (golden traces + diagnostics under both feature sets) and an end-to-end
+# determinism check: the trace_dump binary is run twice with one seed and
+# the JSONL streams must be byte-identical.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,7 +16,26 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
 
+# Observability lock-in: golden traces, convergence diagnostics, and the
+# metrics registry, under the default features...
+cargo test -q --test trace_determinism
+cargo test -q -p osr-stats --test observability
+
 cargo test -q --features fault-inject
 cargo clippy --workspace --all-targets --features fault-inject -- -D warnings
 
-echo "verify: build + tests + clippy green (default and fault-inject)"
+# ...and again with fault injection compiled in (the watchdog hooks sit on
+# the traced sweep path, so the stream must not change shape).
+cargo test -q --features fault-inject --test trace_determinism
+cargo test -q -p osr-stats --features fault-inject --test observability
+
+# Two identical seeded serving runs must write byte-identical trace streams.
+mkdir -p results
+./target/release/trace_dump --seed 2026 --out results/trace_verify_a.jsonl
+./target/release/trace_dump --seed 2026 --out results/trace_verify_b.jsonl
+if ! diff -q results/trace_verify_a.jsonl results/trace_verify_b.jsonl; then
+    echo "verify: FAIL — trace stream is not deterministic across identical runs" >&2
+    exit 1
+fi
+
+echo "verify: build + tests + clippy + trace determinism green (default and fault-inject)"

@@ -13,12 +13,13 @@
 
 #![cfg(feature = "fault-inject")]
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use hdp_osr::core::{
     derive_batch_seed, BatchServer, ClassifyOutcome, DegradeReason, HdpOsr, HdpOsrConfig,
-    OsrError, Prediction, RetryPolicy, ServePolicy, ServedVia, ServingMode,
+    OsrError, Prediction, RetryPolicy, RingSink, ServePolicy, ServedVia, ServingMode,
+    TraceRecord,
 };
 use hdp_osr::dataset::protocol::TrainSet;
 use hdp_osr::stats::counters;
@@ -252,6 +253,56 @@ fn injected_stall_trips_the_deadline_into_degraded_service() {
     for idx in [0usize, 2, 3] {
         assert!(results[idx].is_ok(), "sibling batch {idx} must still serve");
     }
+}
+
+#[test]
+fn degraded_batch_leaves_no_poison_for_the_next_batch_on_its_worker() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (model, batches) = warm_model_and_batches();
+    let baseline = serve(&model, &batches, ServePolicy::default());
+
+    // A single worker serves the batches in order, so batch 0's degraded
+    // service shares its thread — and any leaked thread-local poison — with
+    // every later batch. The injected Cholesky failure poisons the flag on
+    // each of batch 0's attempts *and* during its degraded frozen inference;
+    // the server must scrub it before the worker claims batch 1.
+    let sink = Arc::new(RingSink::new(16));
+    let _plan = install(FaultPlan::new().inject(
+        sites::CHOLESKY,
+        Some(0),
+        None,
+        Fault::CholeskyFail,
+    ));
+    let results = BatchServer::with_workers(&model, 1)
+        .with_trace_sink(sink.clone())
+        .classify_batches(&batches, SEED);
+
+    let degraded = results[0].as_ref().expect("batch 0 degrades, not errors");
+    assert!(degraded.served_via.is_degraded());
+    for idx in [1usize, 2, 3] {
+        assert_bit_identical(
+            results[idx].as_ref().unwrap(),
+            baseline[idx].as_ref().unwrap(),
+            &format!("batch {idx} served after a degraded batch on the same worker"),
+        );
+    }
+
+    let records = sink.records();
+    assert_eq!(records.len(), batches.len(), "one trace record per answered batch");
+    for record in &records {
+        let TraceRecord::Batch(trace) = record else {
+            panic!("batch serving must emit Batch records only");
+        };
+        assert!(
+            !trace.inherited_poison,
+            "batch {} started with poison inherited from an earlier batch",
+            trace.batch
+        );
+    }
+    let TraceRecord::Batch(first) = &records[0] else { unreachable!() };
+    assert_eq!(first.attempts, 3, "degraded record keeps the failed attempt count");
+    assert!(first.sweeps.is_empty(), "frozen inference runs no sweeps");
+    assert_eq!(first.served_via, degraded.served_via);
 }
 
 #[test]

@@ -1,0 +1,196 @@
+//! Golden-trace determinism suite: the observability stream is a pure
+//! function of `(data, config, seed)`.
+//!
+//! Three layers of lock-in:
+//!
+//! 1. **Committed goldens** — the first and last [`SweepTrace`] of a seeded
+//!    fit, its convergence diagnostics, and the full batch-trace JSONL
+//!    stream of a seeded `classify_batches` run are compared byte-for-byte
+//!    against files in `tests/goldens/`. Any change to the sampler's RNG
+//!    consumption, the seating order, or the trace schema shows up as a
+//!    golden diff. Regenerate deliberately with `UPDATE_GOLDENS=1`.
+//! 2. **Worker-count independence** — the same stream must come out of 1,
+//!    2, and 8 workers.
+//! 3. **Run-to-run identity** — two identical seeded runs in one process
+//!    produce identical streams.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use hdp_osr::core::{
+    batch_trace_id, BatchServer, HdpOsr, HdpOsrConfig, RingSink, ServingMode, TraceRecord,
+};
+use hdp_osr::dataset::protocol::TrainSet;
+use hdp_osr::stats::sampling;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 20_26;
+const ITERATIONS: usize = 12;
+const DECISION_SWEEPS: usize = 3;
+
+fn blob(rng: &mut StdRng, cx: f64, cy: f64, n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| {
+            vec![
+                cx + 0.5 * sampling::standard_normal(rng),
+                cy + 0.5 * sampling::standard_normal(rng),
+            ]
+        })
+        .collect()
+}
+
+/// The suite's fixed scene: two separated known classes, four batches
+/// (known / known / unknown / mixed). Everything derives from literal seeds,
+/// so the traces below are reproducible in any order and any process.
+fn model_and_batches() -> (HdpOsr, Vec<Vec<Vec<f64>>>) {
+    let mut rng = StdRng::seed_from_u64(314);
+    let train = TrainSet {
+        class_ids: vec![1, 2],
+        classes: vec![blob(&mut rng, -6.0, 0.0, 40), blob(&mut rng, 6.0, 0.0, 40)],
+    };
+    let config = HdpOsrConfig {
+        iterations: ITERATIONS,
+        decision_sweeps: DECISION_SWEEPS,
+        serving: ServingMode::WarmStart,
+        ..Default::default()
+    };
+    let model = HdpOsr::fit(&config, &train).expect("clean fit");
+    let batches = vec![
+        blob(&mut rng, -6.0, 0.0, 12),
+        blob(&mut rng, 6.0, 0.0, 12),
+        blob(&mut rng, 0.0, 9.0, 12),
+        {
+            let mut mixed = blob(&mut rng, -6.0, 0.0, 6);
+            mixed.extend(blob(&mut rng, 0.0, 9.0, 6));
+            mixed
+        },
+    ];
+    (model, batches)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens").join(name)
+}
+
+/// Compare `actual` against the committed golden, or rewrite the golden
+/// when `UPDATE_GOLDENS` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        fs::create_dir_all(path.parent().expect("goldens dir has a parent")).expect("mkdir");
+        fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden `{name}` ({e}); regenerate with UPDATE_GOLDENS=1")
+    });
+    assert_eq!(actual, expected, "golden `{name}` drifted; see tests/goldens/");
+}
+
+/// Serve the suite's batches and return the sink's JSONL lines, one per
+/// batch, in batch-index order.
+fn trace_lines(model: &HdpOsr, batches: &[Vec<Vec<f64>>], workers: usize) -> Vec<String> {
+    let sink = Arc::new(RingSink::new(64));
+    let results = BatchServer::with_workers(model, workers)
+        .with_trace_sink(sink.clone())
+        .classify_batches(batches, SEED);
+    for (idx, result) in results.iter().enumerate() {
+        let outcome = result.as_ref().expect("healthy batch");
+        assert_eq!(outcome.trace_id, batch_trace_id(SEED, idx), "outcome/trace id mismatch");
+    }
+    sink.records().iter().map(TraceRecord::to_jsonl).collect()
+}
+
+#[test]
+fn fit_trace_matches_committed_goldens() {
+    let (model, _) = model_and_batches();
+    let report = model.fit_report().expect("warm fit keeps its report");
+    assert_eq!(report.trace.len(), ITERATIONS, "one trace per burn-in sweep");
+    assert_eq!(report.train_seed, 42, "the default train seed");
+
+    let first = serde_json::to_string(&report.trace[0]).unwrap();
+    let last = serde_json::to_string(report.trace.last().unwrap()).unwrap();
+    let diagnostics = serde_json::to_string(&report.diagnostics).unwrap();
+    check_golden("fit_first_sweep.json", &first);
+    check_golden("fit_last_sweep.json", &last);
+    check_golden("fit_diagnostics.json", &diagnostics);
+}
+
+#[test]
+fn fit_report_surfaces_sane_convergence_diagnostics() {
+    let (model, _) = model_and_batches();
+    let report = model.fit_report().expect("warm fit keeps its report");
+    let d = &report.diagnostics;
+    assert_eq!(d.n, ITERATIONS);
+    assert!(d.rhat.is_finite() && d.rhat > 0.0, "rhat = {}", d.rhat);
+    assert!((1.0..=ITERATIONS as f64).contains(&d.ess), "ess = {}", d.ess);
+    assert!(d.burn_in <= ITERATIONS / 2, "burn_in = {}", d.burn_in);
+
+    // The trace itself is coherent: sweep indices count up, structural
+    // counts stay positive once seated, wall times are populated live.
+    for (i, t) in report.trace.iter().enumerate() {
+        assert_eq!(t.sweep, i);
+        assert!(t.log_likelihood.is_finite());
+        assert!(t.n_dishes >= 1 && t.total_tables >= t.n_dishes);
+        assert_eq!(t.tables_per_group.len(), 2, "one entry per training group");
+        assert!(t.seat_moves > 0, "a sweep reseats every item at least once");
+    }
+}
+
+#[test]
+fn batch_trace_stream_matches_committed_golden() {
+    let (model, batches) = model_and_batches();
+    let stream = trace_lines(&model, &batches, 2).join("\n");
+    check_golden("batch_stream.jsonl", &stream);
+}
+
+#[test]
+fn batch_traces_are_identical_across_worker_counts() {
+    let (model, batches) = model_and_batches();
+    let one = trace_lines(&model, &batches, 1);
+    assert_eq!(one.len(), batches.len(), "one record per batch");
+    assert_eq!(one, trace_lines(&model, &batches, 2), "1 vs 2 workers");
+    assert_eq!(one, trace_lines(&model, &batches, 8), "1 vs 8 workers");
+}
+
+#[test]
+fn identical_seeded_runs_produce_identical_streams() {
+    let (model, batches) = model_and_batches();
+    assert_eq!(trace_lines(&model, &batches, 4), trace_lines(&model, &batches, 4));
+}
+
+#[test]
+fn batch_records_roundtrip_and_carry_the_decision_sweeps() {
+    let (model, batches) = model_and_batches();
+    for (idx, line) in trace_lines(&model, &batches, 2).iter().enumerate() {
+        let record = TraceRecord::from_jsonl(line).expect("stream lines parse back");
+        let TraceRecord::Batch(trace) = record else {
+            panic!("batch serving emits Batch records only");
+        };
+        assert_eq!(trace.batch, idx);
+        assert_eq!(trace.trace_id, batch_trace_id(SEED, idx));
+        assert_eq!(trace.attempts, 1, "healthy batches serve first try");
+        assert!(!trace.inherited_poison, "workers must start every batch clean");
+        assert_eq!(trace.sweeps.len(), DECISION_SWEEPS);
+        for (s, sweep) in trace.sweeps.iter().enumerate() {
+            assert_eq!(sweep.sweep, s, "session-local sweep indices");
+            assert_eq!(sweep.wall_ns, 0, "wall time never enters the stream");
+            assert!(sweep.log_likelihood.is_finite());
+            assert_eq!(
+                sweep.tables_per_group.len(),
+                3,
+                "two training groups plus the batch group"
+            );
+        }
+    }
+}
+
+#[test]
+fn adhoc_classification_is_tagged_adhoc() {
+    let (model, batches) = model_and_batches();
+    let mut rng = StdRng::seed_from_u64(5);
+    let outcome = model.classify_detailed(&batches[0], &mut rng).expect("healthy batch");
+    assert_eq!(outcome.trace_id, "adhoc");
+}
