@@ -75,13 +75,19 @@ fn main() {
         serving: ServingMode::WarmStart,
         ..Default::default()
     };
-    let model = HdpOsr::fit(&config, &train).expect("clean fit on the fixed scene");
+    let model = HdpOsr::fit(&config, &train).unwrap_or_else(|e| {
+        eprintln!("trace_dump: fit on the fixed scene failed: {e:?}");
+        std::process::exit(1)
+    });
 
     let sink = Arc::new(JsonlSink::create(&out).unwrap_or_else(|e| {
         eprintln!("trace_dump: cannot create {out}: {e}");
         std::process::exit(1)
     }));
-    let report = model.fit_report().expect("warm fits keep their report").clone();
+    let Some(report) = model.fit_report().cloned() else {
+        eprintln!("trace_dump: warm fit carries no fit report");
+        std::process::exit(1)
+    };
     sink.record(&TraceRecord::Fit(report));
 
     let results =

@@ -33,7 +33,7 @@ pub fn render(series: &[Series], width: usize, height: usize, y_min: f64, y_max:
     for (si, s) in series.iter().enumerate() {
         let marker = MARKERS[si % MARKERS.len()];
         let mut pts: Vec<(f64, f64)> = s.points.clone();
-        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
         // Plot points and connect consecutive ones with linear interpolation.
         let cell = |x: f64, y: f64| -> (usize, usize) {
             let cx = ((x - x_min) / x_span * (width - 1) as f64).round() as usize;

@@ -201,7 +201,7 @@ pub fn run_discovery(table: &str, data: &Dataset, opts: &Options) {
     );
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let split = OpenSetSplit::sample(data, &SplitConfig::new(5, 5), &mut rng)
-        .expect("10-class dataset supports a 5+5 split");
+        .unwrap_or_else(|e| die(format!("5+5 split of {} failed: {e:?}", data.name)));
 
     // The broad-prior scale that lets new subclasses nucleate grows with the
     // feature dimension (the prior predictive's normalization cost is
@@ -215,11 +215,12 @@ pub fn run_discovery(table: &str, data: &Dataset, opts: &Options) {
         serving: opts.serving_mode(),
         ..Default::default()
     };
-    let model = HdpOsr::fit(&config, &split.train).expect("fit on synthetic replica");
+    let model = HdpOsr::fit(&config, &split.train)
+        .unwrap_or_else(|e| die(format!("fit on {} failed: {e:?}", data.name)));
     let stats = ServingStats::start();
     let out = model
         .classify_detailed(&split.test.points, &mut rng)
-        .expect("classification on non-empty test set");
+        .unwrap_or_else(|e| die(format!("classification on {} failed: {e:?}", data.name)));
     stats.report(table, 1);
 
     // Annotate each known group with its original class id, as the paper
@@ -246,6 +247,11 @@ pub fn usps_dataset(opts: &Options) -> Dataset {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let raw = osr_dataset::synthetic::usps_raw_scaled(&mut rng, opts.scale);
     osr_dataset::synthetic::project_with_pca(raw, osr_dataset::synthetic::USPS_PCA_DIMS)
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("bench: {msg}");
+    std::process::exit(1)
 }
 
 fn usage_exit() -> ! {
@@ -341,7 +347,7 @@ pub fn print_chart(rows: &[MethodResult], metric: Metric) {
 /// Pretty-print the metric as one line per method across the openness sweep.
 pub fn print_series(figure: &str, rows: &[MethodResult], metric: Metric) {
     let mut opennesses: Vec<f64> = rows.iter().map(|r| r.openness).collect();
-    opennesses.sort_by(|a, b| a.partial_cmp(b).expect("finite openness"));
+    opennesses.sort_by(|a, b| a.total_cmp(b));
     opennesses.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
 
     let mut methods: Vec<&str> = Vec::new();
@@ -364,14 +370,15 @@ pub fn print_series(figure: &str, rows: &[MethodResult], metric: Metric) {
     for m in &methods {
         print!("# {m:<10}");
         for o in &opennesses {
-            let row = rows
+            // A hole in the sweep grid prints as NaN rather than aborting
+            // the whole table.
+            let v = rows
                 .iter()
                 .find(|r| r.method == *m && (r.openness - o).abs() < 1e-12)
-                .expect("complete sweep grid");
-            let v = match metric {
-                Metric::FMeasure => row.f_measure.mean,
-                Metric::Accuracy => row.accuracy.mean,
-            };
+                .map_or(f64::NAN, |row| match metric {
+                    Metric::FMeasure => row.f_measure.mean,
+                    Metric::Accuracy => row.accuracy.mean,
+                });
             print!(" {v:>9.4}");
         }
         println!();

@@ -126,13 +126,10 @@ impl Associations {
     pub fn decide(&self, dish: DishId) -> Prediction {
         match self.map.get(&dish) {
             None => Prediction::Unknown,
-            Some(classes) => {
-                let &(class, _) = classes
-                    .iter()
-                    .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-                    .expect("association lists are non-empty");
-                Prediction::Known(class)
-            }
+            Some(classes) => classes
+                .iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                .map_or(Prediction::Unknown, |&(class, _)| Prediction::Known(class)),
         }
     }
 }

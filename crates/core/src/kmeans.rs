@@ -83,12 +83,13 @@ pub fn kmeans<R: Rng + ?Sized>(
                     .max_by(|(_, a), (_, b)| {
                         let da = dist_to_nearest(a, &centroids);
                         let db = dist_to_nearest(b, &centroids);
-                        da.partial_cmp(&db).expect("finite distances")
+                        da.total_cmp(&db)
                     })
-                    .map(|(i, _)| i)
-                    .expect("non-empty points");
-                centroids[c] = points[far].to_vec();
-                changed = true;
+                    .map(|(i, _)| i);
+                if let Some(far) = far {
+                    centroids[c] = points[far].to_vec();
+                    changed = true;
+                }
             }
         }
         if !changed {

@@ -146,7 +146,8 @@ impl HdpOsr {
 
         // μ₀ = mean of the training samples.
         let all: Vec<&[f64]> = train.classes.iter().flatten().map(Vec::as_slice).collect();
-        let mu0 = osr_linalg::vector::mean(&all).expect("non-empty training set");
+        let mu0 = osr_linalg::vector::mean(&all)
+            .ok_or_else(|| OsrError::InvalidTrainingSet("no training samples".into()))?;
 
         // Σ₀ = ρ × pooled within-class covariance (Eq. 10).
         let n_total = all.len();

@@ -84,7 +84,11 @@ pub enum TraceRecord {
 impl TraceRecord {
     /// Render the record as one line of JSON (no trailing newline).
     pub fn to_jsonl(&self) -> String {
-        serde_json::to_string(self).expect("trace records always serialize")
+        serde_json::to_string(self).unwrap_or_else(|e| {
+            // Unreachable for the derived shapes; keep the stream a valid
+            // JSONL sequence even if a future variant breaks that.
+            format!("{{\"error\":\"unserializable trace record: {e}\"}}")
+        })
     }
 
     /// Parse a record back from one JSONL line.

@@ -3,6 +3,9 @@
 //! it matches the way downstream code must, and its Display assertions pin
 //! the operator-facing wording of the admission errors.
 
+// Test code: the crate-level unwrap/expect ban targets serving paths.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use hdp_osr_core::OsrError;
 
 #[test]

@@ -5,6 +5,9 @@
 //! come back as a full outcome with one prediction per point (or a typed
 //! divergence), under both serving modes.
 
+// Test code: the crate-level unwrap/expect ban targets serving paths.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::OnceLock;
 
 use hdp_osr_core::{HdpOsr, HdpOsrConfig, OsrError, ServingMode};

@@ -19,6 +19,8 @@
 //! its group and can then mutate seating bookkeeping freely while reading
 //! the point — no copying of observations in the inner loop.
 
+// osr-lint: allow-file(unchecked-index, seating invariants link tables assignment and dish ids by construction; guarded fallbacks would hide real breaks that the divergence watchdog must surface)
+
 use std::sync::Arc;
 
 use rand::Rng;
@@ -95,11 +97,16 @@ impl HdpState {
         let tables = &self.tables[j];
         let mut lw: Vec<f64> = Vec::with_capacity(tables.len() + 1);
         for table in tables {
-            let pred = dish_pred
-                .iter()
-                .find(|&&(id, _)| id == table.dish)
-                .map(|&(_, lp)| lp)
-                .expect("table serves a live dish");
+            // A table pointing at a retired dish is a seating-invariant
+            // break: poison the sweep and give the table zero probability
+            // mass instead of panicking mid-batch.
+            let pred = dish_pred.iter().find(|&&(id, _)| id == table.dish).map_or_else(
+                || {
+                    osr_stats::divergence::poison("seat_item: table serves a retired dish");
+                    f64::NEG_INFINITY
+                },
+                |&(_, lp)| lp,
+            );
             lw.push((table.members.len() as f64).ln() + pred);
         }
         lw.push(self.alpha.ln() + new_table_marginal);
@@ -139,12 +146,14 @@ impl HdpState {
         let group = Arc::clone(&self.groups[j]);
         self.dish_mut(dish).posterior.remove(&group[i]);
         let table = &mut self.tables[j][ti];
-        let pos = table
-            .members
-            .iter()
-            .position(|&m| m == i)
-            .expect("item must be a member of its assigned table");
-        table.members.swap_remove(pos);
+        if let Some(pos) = table.members.iter().position(|&m| m == i) {
+            table.members.swap_remove(pos);
+        } else {
+            // assignment[j][i] pointed at a table that does not list i: the
+            // links are corrupt. Poison instead of panicking; the empty-table
+            // cleanup below still runs on consistent data.
+            osr_stats::divergence::poison("unseat: item missing from its assigned table");
+        }
         if table.members.is_empty() {
             self.tables[j].swap_remove(ti);
             // The table that was last is now at ti: fix its members' links.
@@ -202,7 +211,13 @@ impl HdpState {
         let live_ids: Vec<DishId> = self.live_dishes().map(|(id, _)| id).collect();
         let mut lw = Vec::with_capacity(live_ids.len() + 1);
         for &id in &live_ids {
-            let dish = self.dishes[id].as_mut().expect("live id");
+            let Some(dish) = self.dishes[id].as_mut() else {
+                // live_dishes() just yielded this id; a None here means the
+                // menu mutated under us. Zero mass + poison, not a panic.
+                osr_stats::divergence::poison("resample_table_dish: retired id on the live menu");
+                lw.push(f64::NEG_INFINITY);
+                continue;
+            };
             let lp = dish.posterior.block_predictive_logpdf(&block_refs);
             lw.push((dish.n_tables as f64).ln() + lp);
         }

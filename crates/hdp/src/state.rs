@@ -140,11 +140,16 @@ impl HdpState {
     ///
     /// # Panics
     /// Panics when the dish is retired — that is a sampler bug.
+    #[allow(clippy::expect_used)]
     pub fn dish_mut(&mut self, id: DishId) -> &mut Dish {
         self.dishes[id].as_mut().expect("dish_mut: retired dish")
     }
 
     /// Shared access to a live dish.
+    ///
+    /// # Panics
+    /// Panics when the dish is retired — that is a sampler bug.
+    #[allow(clippy::expect_used)]
     pub fn dish(&self, id: DishId) -> &Dish {
         self.dishes[id].as_ref().expect("dish: retired dish")
     }

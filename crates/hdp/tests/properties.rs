@@ -2,6 +2,9 @@
 //! survive arbitrary sweep sequences on arbitrary group structures, and the
 //! posterior state must remain internally consistent.
 
+// Test code: the crate-level unwrap/expect ban targets sampler paths.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use osr_hdp::{Hdp, HdpConfig};
 use osr_linalg::Matrix;
 use osr_stats::NiwParams;

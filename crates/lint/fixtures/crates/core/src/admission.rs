@@ -1,0 +1,9 @@
+//! Fixture: clean admission control.
+
+/// Admit when non-empty.
+pub fn admit(points: &[f64]) -> Result<(), String> {
+    if points.is_empty() {
+        return Err("empty batch".to_string());
+    }
+    Ok(())
+}

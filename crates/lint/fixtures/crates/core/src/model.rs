@@ -1,0 +1,7 @@
+//! Fixture: ambient RNG in a fit path.
+
+pub fn fit(seed: u64) -> u64 {
+    let mut rng = rand::thread_rng();
+    let _ = seed;
+    rng.gen()
+}

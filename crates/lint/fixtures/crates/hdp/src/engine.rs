@@ -1,0 +1,9 @@
+//! Fixture: the seating engine's index discipline.
+
+// osr-lint: allow-file(unchecked-index, fixture — indices are invariant-linked)
+
+pub fn rotate(tables: &mut [usize], i: usize, j: usize) {
+    let t = tables[i];
+    tables[i] = tables[j];
+    tables[j] = t;
+}

@@ -1,0 +1,22 @@
+//! Fixture: sampler bookkeeping.
+
+use std::collections::HashMap;
+
+pub fn counts(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn exempt() {
+        let s: HashSet<u32> = [1, 2].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: serialized trace records.
+
+use std::time::{Instant, SystemTime};
+
+#[derive(Debug, Serialize)]
+pub struct SweepTrace {
+    pub started_at: SystemTime,
+    #[serde(skip)]
+    pub t0: Option<Instant>,
+    pub sweep: u64,
+}
+
+pub struct Deadline {
+    pub at: Instant,
+}

@@ -1,0 +1,14 @@
+//! Fixture: vendored shim with unsafe.
+
+pub fn seed_ptr(v: &mut [u8]) {
+    // SAFETY: the slice is non-empty and exclusively borrowed.
+    unsafe {
+        *v.as_mut_ptr() = 1;
+    }
+}
+
+pub fn no_comment(v: &mut [u8]) {
+    unsafe {
+        *v.as_mut_ptr() = 2;
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: named fault sites.
+
+/// Site registry.
+pub mod sites {
+    /// Admission gate.
+    pub const ADMISSION: &str = "serving::admission";
+    /// Never exercised.
+    pub const ORPHAN: &str = "serving::orphan";
+}

@@ -1,0 +1,10 @@
+//! Fixture: a stats kernel.
+
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    // SAFETY: a comment does not make this acceptable outside vendored shims.
+    unsafe { dot_unchecked(a, b) }
+}
+
+unsafe fn dot_unchecked(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}

@@ -1,0 +1,11 @@
+//! Fixture: the metrics hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn inc(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::SeqCst);
+}
+
+pub fn read(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Relaxed)
+}

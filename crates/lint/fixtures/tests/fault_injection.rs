@@ -1,0 +1,6 @@
+//! Fixture: the fault-injection suite.
+
+#[test]
+fn survives_admission_fault() {
+    let _ = sites::ADMISSION;
+}

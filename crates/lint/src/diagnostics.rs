@@ -1,0 +1,156 @@
+//! Diagnostics and the two report formats (human, JSON).
+//!
+//! The JSON report is committed as a golden file over the fixture tree, so
+//! rendering must be deterministic: diagnostics are sorted by
+//! `(file, line, rule)` and the emitter writes keys in a fixed order with
+//! no timestamps or absolute paths.
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (e.g. `panic-path`).
+    pub rule: String,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation naming the invariant.
+    pub message: String,
+}
+
+/// A finished lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations, sorted by `(file, line, rule)`.
+    pub violations: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of diagnostics suppressed by allow pragmas.
+    pub allowed: usize,
+}
+
+impl Report {
+    /// Sort into the canonical deterministic order.
+    pub fn finish(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    }
+
+    /// `file:line: [rule] message` per violation plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.violations {
+            out.push_str(&format!("{}:{}: [{}] {}\n", d.file, d.line, d.rule, d.message));
+        }
+        out.push_str(&format!(
+            "osr-lint: {} file(s) scanned, {} violation(s), {} allowed by pragma\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.allowed
+        ));
+        out
+    }
+
+    /// The machine-readable report (one JSON object, trailing newline).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"tool\": \"osr-lint\",\n  \"violations\": [");
+        for (i, d) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(&d.rule),
+                json_str(&d.file),
+                d.line,
+                json_str(&d.message)
+            ));
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"violations_total\": {},\n  \"allowed\": {}\n}}\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.allowed
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: usize, rule: &str) -> Diagnostic {
+        Diagnostic {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line,
+            message: format!("{rule} at {file}:{line}"),
+        }
+    }
+
+    #[test]
+    fn report_sorts_deterministically() {
+        let mut r = Report {
+            violations: vec![diag("b.rs", 1, "x"), diag("a.rs", 9, "x"), diag("a.rs", 2, "z"),
+                             diag("a.rs", 2, "a")],
+            files_scanned: 2,
+            allowed: 0,
+        };
+        r.finish();
+        let order: Vec<(String, usize, String)> =
+            r.violations.iter().map(|d| (d.file.clone(), d.line, d.rule.clone())).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs".into(), 2, "a".into()),
+                ("a.rs".into(), 2, "z".into()),
+                ("a.rs".into(), 9, "x".into()),
+                ("b.rs".into(), 1, "x".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let mut r = Report {
+            violations: vec![Diagnostic {
+                rule: "panic-path".into(),
+                file: "crates/core/src/serving.rs".into(),
+                line: 7,
+                message: "ban \"unwrap\"\nhere".into(),
+            }],
+            files_scanned: 1,
+            allowed: 2,
+        };
+        r.finish();
+        let json = r.render_json();
+        assert!(json.contains("\\\"unwrap\\\"\\nhere"));
+        assert!(json.contains("\"files_scanned\": 1"));
+        assert!(json.contains("\"allowed\": 2"));
+        let empty = Report::default().render_json();
+        assert!(empty.contains("\"violations\": []"));
+    }
+}

@@ -1,0 +1,184 @@
+//! The machine-readable escape hatch: `// osr-lint: allow(rule, reason)`.
+//!
+//! Two scopes:
+//!
+//! * `osr-lint: allow(rule, reason)` — suppresses `rule` on the pragma's
+//!   own line (trailing comment) or on the line directly below it
+//!   (standalone comment above the code).
+//! * `osr-lint: allow-file(rule, reason)` — suppresses `rule` for the
+//!   whole file; meant for documented blanket invariants such as the
+//!   seating engine's index discipline.
+//!
+//! A reason is mandatory — an allow without a *why* is exactly the tribal
+//! knowledge the linter exists to eliminate — and the rule name must be one
+//! the registry knows. Anything else is itself reported as a `pragma`
+//! violation, so a typo cannot silently disable a gate.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::RULE_NAMES;
+use crate::scanner::ScannedFile;
+
+/// Rule name of pragma-syntax violations (not allowable itself).
+pub const PRAGMA_RULE: &str = "pragma";
+
+/// One parsed allow pragma.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule being suppressed.
+    pub rule: String,
+    /// 1-based line the pragma sits on.
+    pub line: usize,
+    /// Whole-file scope (`allow-file`)?
+    pub file_scope: bool,
+}
+
+/// All pragmas of one file plus the diagnostics for malformed ones.
+#[derive(Debug, Default)]
+pub struct Pragmas {
+    allows: Vec<Allow>,
+    /// Malformed-pragma diagnostics (missing reason, unknown rule, ...).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Pragmas {
+    /// Is `rule` suppressed at `line` (1-based)?
+    pub fn allows(&self, rule: &str, line: usize) -> bool {
+        self.allows.iter().any(|a| {
+            a.rule == rule && (a.file_scope || a.line == line || a.line + 1 == line)
+        })
+    }
+
+    /// Number of parsed (well-formed) allows.
+    pub fn len(&self) -> usize {
+        self.allows.len()
+    }
+
+    /// True when no well-formed allow was parsed.
+    pub fn is_empty(&self) -> bool {
+        self.allows.is_empty()
+    }
+}
+
+/// Extract every `osr-lint:` pragma from `file`'s comments.
+pub fn collect(file: &ScannedFile, path: &str) -> Pragmas {
+    let mut out = Pragmas::default();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let Some(at) = line.comment.find("osr-lint:") else { continue };
+        // A pragma is the *whole* comment: only comment punctuation may
+        // precede the marker. Prose that merely mentions `osr-lint:` (docs,
+        // this file) is not a pragma attempt.
+        let is_pragma_comment = line
+            .comment
+            .get(..at)
+            .is_some_and(|p| p.chars().all(|c| c.is_whitespace() || "/*!".contains(c)));
+        if !is_pragma_comment {
+            continue;
+        }
+        let directive = line.comment.get(at + "osr-lint:".len()..).unwrap_or("").trim();
+        match parse_directive(directive) {
+            Ok((rule, file_scope)) => out.allows.push(Allow { rule, line: lineno, file_scope }),
+            Err(why) => out.diagnostics.push(Diagnostic {
+                rule: PRAGMA_RULE.to_string(),
+                file: path.to_string(),
+                line: lineno,
+                message: format!("malformed osr-lint pragma: {why}"),
+            }),
+        }
+    }
+    out
+}
+
+/// Parse `allow(rule, reason)` / `allow-file(rule, reason)`.
+fn parse_directive(directive: &str) -> Result<(String, bool), String> {
+    let (head, file_scope) = if let Some(rest) = directive.strip_prefix("allow-file") {
+        (rest, true)
+    } else if let Some(rest) = directive.strip_prefix("allow") {
+        (rest, false)
+    } else {
+        return Err(format!(
+            "unknown directive {:?} (expected `allow(...)` or `allow-file(...)`)",
+            directive.split('(').next().unwrap_or(directive).trim()
+        ));
+    };
+    let head = head.trim();
+    let inner = head
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| "expected `(rule, reason)` after the directive".to_string())?;
+    let (rule, reason) = inner
+        .split_once(',')
+        .ok_or_else(|| "missing reason: use `(rule, reason)`".to_string())?;
+    let rule = rule.trim();
+    let reason = reason.trim().trim_matches('"').trim();
+    if rule.is_empty() {
+        return Err("empty rule name".to_string());
+    }
+    if !RULE_NAMES.contains(&rule) {
+        return Err(format!(
+            "unknown rule {rule:?} (known: {})",
+            RULE_NAMES.join(", ")
+        ));
+    }
+    if reason.is_empty() {
+        return Err(format!("allow({rule}) needs a non-empty reason"));
+    }
+    Ok((rule.to_string(), file_scope))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn pragmas_of(src: &str) -> Pragmas {
+        collect(&scan(src), "f.rs")
+    }
+
+    #[test]
+    fn trailing_and_standalone_allows() {
+        let p = pragmas_of(
+            "x.unwrap(); // osr-lint: allow(panic-path, \"checked by caller\")\n\
+             // osr-lint: allow(seqcst-atomic, fence needed for init handshake)\n\
+             foo();\n",
+        );
+        assert!(p.diagnostics.is_empty(), "{:?}", p.diagnostics);
+        assert!(p.allows("panic-path", 1));
+        assert!(!p.allows("panic-path", 3), "trailing allow reaches one line, not two");
+        assert!(p.allows("seqcst-atomic", 2), "pragma covers its own line");
+        assert!(p.allows("seqcst-atomic", 3), "and the line below");
+        assert!(!p.allows("seqcst-atomic", 4));
+    }
+
+    #[test]
+    fn file_scope_allow_covers_everything() {
+        let p = pragmas_of("// osr-lint: allow-file(unchecked-index, \"invariant indices\")\n");
+        assert!(p.allows("unchecked-index", 999));
+        assert!(!p.allows("panic-path", 999));
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let p = pragmas_of("// osr-lint: allow(panic-path)\n");
+        assert_eq!(p.diagnostics.len(), 1);
+        assert!(p.diagnostics[0].message.contains("malformed"));
+        assert!(!p.allows("panic-path", 1), "a malformed pragma suppresses nothing");
+    }
+
+    #[test]
+    fn unknown_rule_and_directive_are_rejected() {
+        let p = pragmas_of(
+            "// osr-lint: allow(no-such-rule, \"why\")\n// osr-lint: disable(panic-path, x)\n",
+        );
+        assert_eq!(p.diagnostics.len(), 2);
+        assert!(p.diagnostics[0].message.contains("unknown rule"));
+        assert!(p.diagnostics[1].message.contains("unknown directive"));
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let p = pragmas_of("// osr-lint: allow(panic-path, \"\")\n");
+        assert_eq!(p.diagnostics.len(), 1);
+        assert!(p.diagnostics[0].message.contains("reason"));
+    }
+}

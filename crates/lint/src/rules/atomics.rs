@@ -1,0 +1,54 @@
+//! `seqcst-atomic`: the metrics hot path mandates `Relaxed` ordering.
+//!
+//! PR 4's registry design: per-sweep counters/histograms are plain
+//! monotonic accumulators with no cross-variable ordering requirement, so
+//! `Ordering::Relaxed` is correct and anything stronger only inserts
+//! fences into the sampler's inner loop. A `SeqCst` appearing in
+//! `crates/stats/src/metrics.rs`, `counters.rs` or the serving work-queue
+//! counter is almost always a reflexive default, not a decision — flag it
+//! and make the author justify it with an allow pragma if it is real.
+
+use crate::diagnostics::Diagnostic;
+use crate::scanner::{has_word, ScannedFile};
+
+/// Flag `SeqCst` in non-test code of `path`.
+pub fn check(path: &str, file: &ScannedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if has_word(&line.code, "SeqCst") {
+            out.push(Diagnostic {
+                rule: "seqcst-atomic".to_string(),
+                file: path.to_string(),
+                line: idx + 1,
+                message: "SeqCst on the metrics hot path: the registry's accumulators are \
+                          order-free, use Ordering::Relaxed (or justify with an allow pragma)"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    #[test]
+    fn flags_seqcst_and_accepts_relaxed() {
+        let bad = "fn inc(c: &AtomicU64) { c.fetch_add(1, Ordering::SeqCst); }\n";
+        let d = check("crates/stats/src/metrics.rs", &scan(bad), );
+        assert_eq!(d.len(), 1);
+        let good = "fn inc(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        assert!(check("crates/stats/src/metrics.rs", &scan(good)).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(c: &AtomicU64) { c.load(Ordering::SeqCst); }\n}\n";
+        assert!(check("crates/stats/src/metrics.rs", &scan(src)).is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Determinism rules: serialized wall-clock state, hash-order iteration,
+//! and ambient RNG construction.
+//!
+//! The golden-trace suite (PR 4) promises byte-identical serialized
+//! streams across runs and worker counts; batch results are a pure
+//! function of `(model, batches, seed, policy)` (PR 2). Three source-level
+//! patterns silently break those promises:
+//!
+//! * **`wall-clock-serde`** — a `SystemTime`/`Instant` field inside a
+//!   `#[derive(Serialize)]` item serializes wall time. `SweepTrace` keeps
+//!   `wall_ns` *out* of its serialized form for exactly this reason; a
+//!   `#[serde(skip)]` on the field (or the line above it) is accepted.
+//! * **`hash-iteration`** — `HashMap`/`HashSet` iteration order varies per
+//!   process (SipHash keys are randomized), so the sampler and trace paths
+//!   must use `BTreeMap`/`BTreeSet` or sort before iterating.
+//! * **`ambient-rng`** — every RNG must descend from the
+//!   `derive_batch_seed(seed, index)` lineage (or an explicit
+//!   `seed_from_u64`); `thread_rng()`/`from_entropy()`/`OsRng` pull
+//!   operating-system entropy and unseed the whole pipeline.
+
+use crate::diagnostics::Diagnostic;
+use crate::scanner::{find_matching_close, find_open_brace, has_word, ScannedFile};
+
+/// Flag `SystemTime`/`Instant` fields inside `#[derive(..Serialize..)]`
+/// struct/enum blocks of `path`.
+pub fn check_wall_clock_serde(path: &str, file: &ScannedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let lines = &file.lines;
+    let mut idx = 0usize;
+    while idx < lines.len() {
+        let code = &lines[idx].code;
+        let is_serialize_derive =
+            code.contains("derive(") && has_word(code, "Serialize") && code.contains("#[");
+        if !is_serialize_derive || lines[idx].in_test {
+            idx += 1;
+            continue;
+        }
+        let Some((open_line, open_col)) = find_open_brace(lines, idx) else {
+            idx += 1;
+            continue;
+        };
+        let end = find_matching_close(lines, open_line, open_col)
+            .unwrap_or(lines.len().saturating_sub(1));
+        for k in open_line..=end {
+            let field = &lines[k].code;
+            let skipped = field.contains("serde") && field.contains("skip")
+                || k > 0
+                    && lines[k - 1].code.contains("serde")
+                    && lines[k - 1].code.contains("skip");
+            if skipped {
+                continue;
+            }
+            for ty in ["SystemTime", "Instant"] {
+                if has_word(field, ty) {
+                    out.push(Diagnostic {
+                        rule: "wall-clock-serde".to_string(),
+                        file: path.to_string(),
+                        line: k + 1,
+                        message: format!(
+                            "`{ty}` inside a #[derive(Serialize)] item: wall time in a \
+                             serialized struct breaks byte-identical golden traces; keep it \
+                             out of the record or mark the field #[serde(skip)]"
+                        ),
+                    });
+                }
+            }
+        }
+        idx = end + 1;
+    }
+    out
+}
+
+/// Flag `HashMap`/`HashSet` in non-test code of `path` (sampler/trace
+/// scope only — routed by the registry).
+pub fn check_hash_iteration(path: &str, file: &ScannedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            if has_word(&line.code, ty) {
+                out.push(Diagnostic {
+                    rule: "hash-iteration".to_string(),
+                    file: path.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{ty}` on a sampler/trace path: iteration order is nondeterministic \
+                         across processes; use BTreeMap/BTreeSet or sort before iterating"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Ambient entropy sources that break `(seed, index)`-derived determinism.
+const AMBIENT_RNG: &[&str] = &["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// Flag ambient RNG construction in non-test code of `path`.
+pub fn check_ambient_rng(path: &str, file: &ScannedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for tok in AMBIENT_RNG {
+            if has_word(&line.code, tok) {
+                out.push(Diagnostic {
+                    rule: "ambient-rng".to_string(),
+                    file: path.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "`{tok}` pulls OS entropy: every RNG must derive from the \
+                         derive_batch_seed(seed, index) lineage (StdRng::seed_from_u64)"
+                    ),
+                });
+            }
+        }
+        // `rand::random()` has no single identifier token; match the path.
+        if line.code.contains("rand::random") {
+            out.push(Diagnostic {
+                rule: "ambient-rng".to_string(),
+                file: path.to_string(),
+                line: idx + 1,
+                message: "`rand::random()` is thread-RNG backed: derive the RNG from \
+                          derive_batch_seed(seed, index) instead"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    #[test]
+    fn serialized_wall_clock_is_flagged() {
+        let src = "#[derive(Debug, Serialize)]\npub struct Stamped {\n    pub at: std::time::SystemTime,\n    pub n: u64,\n}\n";
+        let d = check_wall_clock_serde("crates/hdp/src/trace.rs", &scan(src));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn serde_skip_and_underived_structs_pass() {
+        let skipped = "#[derive(Serialize)]\npub struct T {\n    #[serde(skip)]\n    pub t0: Instant,\n}\n";
+        assert!(check_wall_clock_serde("f.rs", &scan(skipped)).is_empty());
+        let skipped_inline = "#[derive(Serialize)]\npub struct T {\n    #[serde(skip)] pub t0: Instant,\n}\n";
+        assert!(check_wall_clock_serde("f.rs", &scan(skipped_inline)).is_empty());
+        let underived = "pub struct T {\n    pub t0: Instant,\n}\nfn f() { let _ = Instant::now(); }\n";
+        assert!(check_wall_clock_serde("f.rs", &scan(underived)).is_empty());
+    }
+
+    #[test]
+    fn instant_outside_the_struct_is_not_flagged() {
+        let src = "use std::time::Instant;\n#[derive(Serialize)]\npub struct T {\n    pub n: u64,\n}\nfn f() -> Instant { Instant::now() }\n";
+        assert!(check_wall_clock_serde("f.rs", &scan(src)).is_empty());
+    }
+
+    #[test]
+    fn hash_types_flagged_outside_tests_only() {
+        let src = "fn f() {\n    let m = std::collections::HashMap::new();\n}\n#[cfg(test)]\nmod tests {\n    fn t() { let s = std::collections::HashSet::new(); }\n}\n";
+        let d = check_hash_iteration("crates/hdp/src/state.rs", &scan(src));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn ambient_rng_tokens() {
+        let d = check_ambient_rng(
+            "f.rs",
+            &scan("fn f() {\n    let mut rng = rand::thread_rng();\n    let x: u8 = rand::random();\n}\n"),
+        );
+        assert_eq!(d.len(), 2);
+        let good = "fn f(seed: u64) { let rng = StdRng::seed_from_u64(seed); }\n";
+        assert!(check_ambient_rng("f.rs", &scan(good)).is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! `fault-site-registration`: every named fault-injection site must be
+//! exercised by the fault-injection suite.
+//!
+//! PR 3 sprinkled the serving stack with named sites
+//! (`crates/stats/src/faults.rs`, `mod sites`); each one exists to prove a
+//! specific failure is survived, and a site nobody injects is a survival
+//! claim nobody tests. The rule parses the `pub const NAME: &str = "..."`
+//! registry and requires each site to appear in
+//! `tests/fault_injection.rs` — either as `sites::NAME` or as its literal
+//! string.
+
+use crate::diagnostics::Diagnostic;
+use crate::scanner::{find_matching_close, find_open_brace, find_word, ScannedFile};
+
+/// One parsed site constant.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Site {
+    /// Constant name (e.g. `ADMISSION`).
+    pub name: String,
+    /// String value (e.g. `serving::admission`).
+    pub value: String,
+    /// 1-based line of the constant.
+    pub line: usize,
+}
+
+/// Extract the `mod sites` constants from the scanned `faults.rs`.
+pub fn parse_sites(file: &ScannedFile) -> Vec<Site> {
+    let lines = &file.lines;
+    let Some(mod_line) = lines.iter().position(|l| {
+        l.code.contains("mod sites") && !l.in_test
+    }) else {
+        return Vec::new();
+    };
+    let Some((open_line, open_col)) = find_open_brace(lines, mod_line) else {
+        return Vec::new();
+    };
+    let end =
+        find_matching_close(lines, open_line, open_col).unwrap_or(lines.len().saturating_sub(1));
+    let raw_lines: Vec<&str> = file.raw.lines().collect();
+    let mut sites = Vec::new();
+    for k in open_line..=end {
+        let code = &lines[k].code;
+        let Some(name) = code
+            .find("const ")
+            .and_then(|at| code.get(at + "const ".len()..))
+            .and_then(|rest| rest.split(':').next())
+            .map(str::trim)
+            .filter(|n| !n.is_empty() && n.chars().all(|c| c.is_alphanumeric() || c == '_'))
+        else {
+            continue;
+        };
+        // The value lives in the raw line (the scanner blanks strings).
+        let Some(value) = raw_lines.get(k).and_then(|raw| {
+            let from = raw.find('"')? + 1;
+            let len = raw.get(from..)?.find('"')?;
+            raw.get(from..from + len)
+        }) else {
+            continue;
+        };
+        sites.push(Site { name: name.to_string(), value: value.to_string(), line: k + 1 });
+    }
+    sites
+}
+
+/// Check every site of `faults_file` against the raw text of the
+/// fault-injection suite (`None` = the suite file is missing entirely).
+pub fn check(
+    faults_path: &str,
+    faults_file: &ScannedFile,
+    registry_path: &str,
+    registry_raw: Option<&str>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for site in parse_sites(faults_file) {
+        let registered = registry_raw.is_some_and(|raw| {
+            find_word(raw, &format!("sites::{}", site.name)).is_some()
+                || raw.contains(&format!("\"{}\"", site.value))
+        });
+        if !registered {
+            out.push(Diagnostic {
+                rule: "fault-site-registration".to_string(),
+                file: faults_path.to_string(),
+                line: site.line,
+                message: format!(
+                    "fault site {} (\"{}\") is never exercised: add an injection case to {}",
+                    site.name, site.value, registry_path
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    const FAULTS: &str = "pub mod sites {\n    /// Before admission.\n    pub const ADMISSION: &str = \"serving::admission\";\n    pub const ORPHAN: &str = \"serving::orphan\";\n}\n";
+
+    #[test]
+    fn parses_names_values_and_lines() {
+        let sites = parse_sites(&scan(FAULTS));
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].name, "ADMISSION");
+        assert_eq!(sites[0].value, "serving::admission");
+        assert_eq!(sites[0].line, 3);
+    }
+
+    #[test]
+    fn unregistered_site_is_flagged_registered_is_not() {
+        let registry = "let _p = plan.inject(sites::ADMISSION, None, None, Fault::Diverge);";
+        let d = check("crates/stats/src/faults.rs", &scan(FAULTS), "tests/fault_injection.rs",
+                      Some(registry));
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("ORPHAN"));
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn literal_string_registration_counts() {
+        let registry = "install_at(\"serving::orphan\"); use_(sites::ADMISSION);";
+        let d = check("f.rs", &scan(FAULTS), "t.rs", Some(registry));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn missing_registry_flags_every_site() {
+        let d = check("f.rs", &scan(FAULTS), "t.rs", None);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn prefix_site_names_do_not_shadow() {
+        // `sites::ADMISSION_LATE` must not register `sites::ADMISSION`.
+        let registry = "plan.inject(sites::ADMISSION_LATE, ...)";
+        let faults = "pub mod sites {\n    pub const ADMISSION: &str = \"a\";\n}\n";
+        let d = check("f.rs", &scan(faults), "t.rs", Some(registry));
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! `unchecked-index`: ban panicking `[...]` indexing/slicing on the
+//! panic-isolated serving path.
+//!
+//! `xs[i]` and `&xs[a..b]` panic out of bounds, which on the serving path
+//! is a lost batch (see `panic-path`). Use `.get()`/`.get_mut()` with a
+//! typed fallback, or — where the index is a structural invariant the
+//! surrounding bookkeeping maintains, as in the seating engine — a
+//! file-scope `osr-lint: allow-file(unchecked-index, reason)` documenting
+//! that invariant.
+//!
+//! Detection: a `[` immediately preceded by an identifier character, `)`
+//! or `]` is an index expression. Attribute (`#[...]`), macro (`vec![`),
+//! slice-type (`&[T]`) and array-literal (`[0; n]`) brackets all follow
+//! other characters and are never flagged.
+
+use crate::diagnostics::Diagnostic;
+use crate::scanner::ScannedFile;
+
+/// Flag index expressions in non-test code of `path`.
+pub fn check(path: &str, file: &ScannedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if let Some(col) = first_index_expr(&line.code) {
+            out.push(Diagnostic {
+                rule: "unchecked-index".to_string(),
+                file: path.to_string(),
+                line: idx + 1,
+                message: format!(
+                    "unchecked `[...]` indexing panics out of bounds (column {}); \
+                     use .get()/.get_mut() or document the invariant with an allow pragma",
+                    col + 1
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Column of the first index expression in `code`, if any.
+fn first_index_expr(code: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'[' || i == 0 {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']' {
+            // `r"..."` openers are blanked by the scanner, so an identifier
+            // char before `[` is genuinely an index base.
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        check("crates/core/src/serving.rs", &scan(src))
+    }
+
+    #[test]
+    fn flags_index_and_slice_expressions() {
+        assert_eq!(lint("fn f(xs: &[u8], i: usize) { xs[i]; }\n").len(), 1);
+        assert_eq!(lint("fn f(xs: &[u8]) { let _ = &xs[1..3]; }\n").len(), 1);
+        assert_eq!(lint("fn f(m: &M) { m.rows(0)[2]; }\n").len(), 1, "call result indexing");
+        assert_eq!(lint("fn f(g: &G) { g[0][1]; }\n").len(), 1, "one diagnostic per line");
+    }
+
+    #[test]
+    fn ignores_types_attributes_macros_and_literals() {
+        assert!(lint("#[derive(Debug)]\nfn f(xs: &[u8]) -> [u8; 2] { [0, 1] }\n").is_empty());
+        assert!(lint("fn f() { let v = vec![1, 2, 3]; let _ = v.first(); }\n").is_empty());
+        assert!(lint("fn f(b: Box<[u8]>) {}\n").is_empty());
+        assert!(lint("fn f() { let [a, b] = [1, 2]; let _ = (a, b); }\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        assert!(lint("#[cfg(test)]\nmod tests {\n    fn t(xs: &[u8]) { xs[0]; }\n}\n").is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! `panic-path`: ban unwinding operators on the panic-isolated serving
+//! path (PR 3).
+//!
+//! A panic inside `crates/core/src/serving.rs`, `admission.rs` or
+//! `crates/hdp/src/engine.rs` unwinds into the `BatchServer`'s
+//! `catch_unwind` and turns a recoverable condition into a lost batch
+//! (`OsrError::Internal`). Errors there must be typed (`OsrError`) or
+//! reported through the divergence watchdog — never `unwrap`/`expect`/
+//! `panic!`/`unreachable!`. Test code is exempt; deliberate injected
+//! panics carry an `osr-lint: allow(panic-path, ...)` pragma.
+
+use crate::diagnostics::Diagnostic;
+use crate::scanner::ScannedFile;
+
+/// Substring patterns that unwind. Parens included so `unwrap_or(..)`,
+/// `expect_err(..)` and `should_panic` never match.
+const BANNED: &[(&str, &str)] = &[
+    (".unwrap(", "`.unwrap()` panics; return a typed OsrError or use the divergence watchdog"),
+    (".expect(", "`.expect()` panics; return a typed OsrError or use the divergence watchdog"),
+    ("panic!", "`panic!` costs the whole batch at the catch_unwind boundary"),
+    ("unreachable!", "`unreachable!` panics; poison the divergence flag and recover instead"),
+    ("todo!", "`todo!` panics; serving code must be complete"),
+    ("unimplemented!", "`unimplemented!` panics; serving code must be complete"),
+];
+
+/// Flag every unwinding operator in non-test code of `path`.
+pub fn check(path: &str, file: &ScannedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for &(pat, why) in BANNED {
+            if line.code.contains(pat) {
+                out.push(Diagnostic {
+                    rule: "panic-path".to_string(),
+                    file: path.to_string(),
+                    line: idx + 1,
+                    message: format!("{why} (found `{}`)", pat.trim_end_matches('(')),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        check("crates/core/src/serving.rs", &scan(src))
+    }
+
+    #[test]
+    fn flags_each_unwinding_operator() {
+        let d = lint(
+            "fn f(x: Option<u8>) {\n    x.unwrap();\n    x.expect(\"m\");\n    panic!(\"b\");\n    unreachable!();\n}\n",
+        );
+        assert_eq!(d.len(), 4);
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[3].line, 5);
+    }
+
+    #[test]
+    fn ignores_non_panicking_cousins() {
+        assert!(lint("fn f(x: Option<u8>) { x.unwrap_or(0); x.unwrap_or_else(|| 1); }\n")
+            .is_empty());
+        assert!(lint("fn f(r: Result<u8, u8>) { r.expect_err(\"e\"); }\n").is_empty());
+    }
+
+    #[test]
+    fn ignores_strings_comments_and_tests() {
+        assert!(lint("// .unwrap() is banned\nlet s = \"panic!\";\n").is_empty());
+        assert!(lint("#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n").is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! `unsafe-hygiene`: no `unsafe` outside the vendored shims; inside them,
+//! every `unsafe` needs an adjacent `// SAFETY:` comment.
+//!
+//! The workspace's own crates all carry `#![deny(unsafe_code)]` (or
+//! `forbid`); this rule backstops that at the source level — it also
+//! catches `#[allow(unsafe_code)]` escape attempts, because the `unsafe`
+//! token itself is what triggers. Vendored shims mirror upstream crates
+//! that may genuinely need `unsafe`; there the contract is a `// SAFETY:`
+//! comment on the same line or within the two lines above, stating the
+//! invariant that makes the block sound.
+
+use crate::diagnostics::Diagnostic;
+use crate::scanner::{has_word, ScannedFile};
+
+/// Flag `unsafe` misuse in `path`. `vendored` selects the shim contract.
+pub fn check(path: &str, file: &ScannedFile, vendored: bool) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if !has_word(&line.code, "unsafe") {
+            continue;
+        }
+        if !vendored {
+            out.push(Diagnostic {
+                rule: "unsafe-hygiene".to_string(),
+                file: path.to_string(),
+                line: idx + 1,
+                message: "`unsafe` is forbidden outside the vendored shim crates; every \
+                          workspace crate is #![deny(unsafe_code)]"
+                    .to_string(),
+            });
+            continue;
+        }
+        let documented = (idx.saturating_sub(2)..=idx)
+            .any(|k| file.lines.get(k).is_some_and(|l| l.comment.contains("SAFETY:")));
+        if !documented {
+            out.push(Diagnostic {
+                rule: "unsafe-hygiene".to_string(),
+                file: path.to_string(),
+                line: idx + 1,
+                message: "`unsafe` without an adjacent `// SAFETY:` comment; state the \
+                          invariant that makes this block sound"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    #[test]
+    fn forbidden_outside_shims_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { unsafe { std::hint::unreachable_unchecked() } }\n}\n";
+        let d = check("crates/core/src/lib.rs", &scan(src), false);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn vendored_needs_adjacent_safety_comment() {
+        let ok = "// SAFETY: the buffer outlives the call.\nunsafe { ptr.read() }\n";
+        assert!(check("crates/rand/src/lib.rs", &scan(ok), true).is_empty());
+        let trailing = "unsafe { ptr.read() } // SAFETY: checked above\n";
+        assert!(check("crates/rand/src/lib.rs", &scan(trailing), true).is_empty());
+        let bad = "fn f() {\n    unsafe { ptr.read() }\n}\n";
+        let d = check("crates/rand/src/lib.rs", &scan(bad), true);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_two_lines_up_counts() {
+        let src = "// SAFETY: len <= capacity by construction;\n// the region is initialized.\nunsafe { v.set_len(n) }\n";
+        assert!(check("crates/rand/src/lib.rs", &scan(src), true).is_empty());
+    }
+
+    #[test]
+    fn the_word_in_strings_or_comments_is_ignored() {
+        let src = "// unsafe is a scary word\nlet s = \"unsafe\";\n";
+        assert!(check("crates/core/src/lib.rs", &scan(src), false).is_empty());
+    }
+}

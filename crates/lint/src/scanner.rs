@@ -1,0 +1,410 @@
+//! The lightweight source scanner every rule runs on.
+//!
+//! No parser dependency: a character-level state machine blanks out
+//! comments, string/char literals and raw strings (preserving line and
+//! column positions), collects the comment text per line (pragmas live in
+//! comments), and then a brace-tracking pass marks `#[cfg(test)]` modules
+//! and `#[test]` functions so rules can exempt test code.
+//!
+//! Everything here is panic-free by construction — a fuzz test feeds the
+//! scanner arbitrary byte soup — because the linter gating CI must never
+//! take CI down with it.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// The line with comments and string/char literal *contents* replaced
+    /// by spaces (delimiters included). Token scans run on this.
+    pub code: String,
+    /// Concatenated comment text of the line (without `//`/`/*` markers).
+    pub comment: String,
+    /// True when the line sits inside a `#[cfg(test)]` module/function or a
+    /// `#[test]` function.
+    pub in_test: bool,
+}
+
+/// A whole scanned file.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// Scanned lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+    /// The raw source, for rules that need literal values (fault sites).
+    pub raw: String,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str { raw_hashes: Option<u32> },
+}
+
+/// Scan `source` into blanked lines + per-line comment text + test regions.
+pub fn scan(source: &str) -> ScannedFile {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            // Line comments end at the newline; everything else survives it.
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    state = State::Str { raw_hashes: None };
+                    code.push(' ');
+                    i += 1;
+                    continue;
+                }
+                // Raw strings: r"...", r#"..."#, br##"..."## and so on.
+                if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    if let Some((hashes, consumed)) = raw_string_open(&chars, i) {
+                        state = State::Str { raw_hashes: Some(hashes) };
+                        for _ in 0..consumed {
+                            code.push(' ');
+                        }
+                        i += consumed;
+                        continue;
+                    }
+                }
+                // Byte strings b"..." (plain).
+                if c == 'b' && next == Some('"') && !prev_is_ident(&chars, i) {
+                    state = State::Str { raw_hashes: None };
+                    code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                // Char literal vs lifetime: 'x' / '\n' are literals,
+                // 'static / <'a> are lifetimes (kept as code, harmless).
+                if c == '\'' {
+                    if let Some(consumed) = char_literal_len(&chars, i) {
+                        for _ in 0..consumed {
+                            code.push(' ');
+                        }
+                        i += consumed;
+                        continue;
+                    }
+                }
+                code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    state = if depth <= 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            State::Str { raw_hashes } => {
+                match raw_hashes {
+                    None => {
+                        if c == '\\' {
+                            // Escape: skip the escaped char too (handles \").
+                            code.push(' ');
+                            if next.is_some() && next != Some('\n') {
+                                code.push(' ');
+                                i += 2;
+                            } else {
+                                i += 1;
+                            }
+                            continue;
+                        }
+                        if c == '"' {
+                            state = State::Code;
+                        }
+                    }
+                    Some(h) => {
+                        if c == '"' && has_hashes(&chars, i + 1, h) {
+                            for _ in 0..=h {
+                                code.push(' ');
+                            }
+                            i += 1 + h as usize;
+                            state = State::Code;
+                            continue;
+                        }
+                    }
+                }
+                code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    // Flush a final line without trailing newline (mirrors str::lines: a
+    // trailing '\n' does not open an extra empty line).
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line { code, comment, in_test: false });
+    }
+
+    mark_test_regions(&mut lines);
+    ScannedFile { lines, raw: source.to_string() }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0
+        && chars
+            .get(i - 1)
+            .is_some_and(|p| p.is_alphanumeric() || *p == '_')
+}
+
+/// When `chars[i..]` opens a raw (byte) string (`r`, `br` + hashes + `"`),
+/// return (hash count, chars consumed by the opener).
+fn raw_string_open(chars: &[char], i: usize) -> Option<(u32, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+        if hashes > 255 {
+            return None;
+        }
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, j - i + 1))
+    } else {
+        None
+    }
+}
+
+fn has_hashes(chars: &[char], from: usize, n: u32) -> bool {
+    (0..n as usize).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+/// Length of the char literal starting at `chars[i]` (a `'`), or `None`
+/// when this `'` starts a lifetime.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // '\x'-style escape: find the closing quote within a few chars.
+            for k in 3..=10 {
+                match chars.get(i + k) {
+                    Some('\'') => return Some(k + 1),
+                    None | Some('\n') => return None,
+                    _ => {}
+                }
+            }
+            None
+        }
+        Some(_) if chars.get(i + 2) == Some(&'\'') => Some(3),
+        _ => None, // lifetime ('a, 'static) or stray quote
+    }
+}
+
+/// Mark lines inside `#[cfg(test)]` / `#[cfg(all(test, ...))]` modules and
+/// `#[test]` functions. Brace matching runs on the blanked code, so braces
+/// in strings and comments cannot confuse it; an unbalanced region (e.g. a
+/// truncated file) extends to end of file, which errs toward exempting.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut li = 0usize;
+    while li < lines.len() {
+        let code = &lines[li].code;
+        let is_test_attr = (code.contains("cfg(test)") || code.contains("cfg(all(test"))
+            && code.contains("#[")
+            || code.contains("#[test]")
+            || code.contains("#[ test ]");
+        if is_test_attr && !lines[li].in_test {
+            if let Some((open_line, open_col)) = find_open_brace(lines, li) {
+                let close = find_matching_close(lines, open_line, open_col);
+                let end = close.unwrap_or(lines.len().saturating_sub(1));
+                for line in lines.iter_mut().take(end + 1).skip(li) {
+                    line.in_test = true;
+                }
+                li = end + 1;
+                continue;
+            }
+        }
+        li += 1;
+    }
+}
+
+/// First `{` at or after line `from` (blanked code only).
+pub(crate) fn find_open_brace(lines: &[Line], from: usize) -> Option<(usize, usize)> {
+    for (li, line) in lines.iter().enumerate().skip(from) {
+        // A `;` before any `{` means the attribute annotated a braceless
+        // item (e.g. `#[cfg(test)] use ...;`) — no region to mark.
+        for (col, c) in line.code.char_indices() {
+            match c {
+                '{' => return Some((li, col)),
+                ';' => return None,
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Line of the `}` matching the `{` at (open_line, open_col).
+pub(crate) fn find_matching_close(
+    lines: &[Line],
+    open_line: usize,
+    open_col: usize,
+) -> Option<usize> {
+    let mut depth = 0i64;
+    for (li, line) in lines.iter().enumerate().skip(open_line) {
+        let start = if li == open_line { open_col } else { 0 };
+        for (col, c) in line.code.char_indices() {
+            if col < start {
+                continue;
+            }
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(li);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// True when `code` contains `token` as a whole word (neither neighbour is
+/// an identifier character).
+pub fn has_word(code: &str, token: &str) -> bool {
+    find_word(code, token).is_some()
+}
+
+/// Byte offset of the first whole-word occurrence of `token` in `code`.
+pub fn find_word(code: &str, token: &str) -> Option<usize> {
+    if token.is_empty() {
+        return None;
+    }
+    let bytes = code.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = code.get(from..).and_then(|s| s.find(token)) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + token.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + token.len().max(1);
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_strings_and_comments() {
+        let f = scan("let x = \"unwrap() inside\"; // .unwrap() too\nlet y = 1;\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].comment.contains(".unwrap() too"));
+        assert!(f.lines[1].code.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn handles_raw_strings_and_chars() {
+        let f = scan("let s = r#\"panic!(\"x\")\"#;\nlet c = '\\n'; let l: &'static str = s;\n");
+        assert!(!f.lines[0].code.contains("panic"));
+        assert!(f.lines[1].code.contains("static"), "lifetimes survive blanking");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let f = scan("/* outer /* inner */ still comment */ let z = 2;\n");
+        assert!(f.lines[0].code.contains("let z = 2;"));
+        assert!(!f.lines[0].code.contains("outer"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[2].in_test && f.lines[3].in_test && f.lines[4].in_test);
+        assert!(!f.lines[5].in_test, "code after the test module is live again");
+    }
+
+    #[test]
+    fn test_fn_attribute_marks_its_body() {
+        let src = "#[test]\nfn check() {\n    v[0];\n}\nfn live() {}\n";
+        let f = scan(src);
+        assert!(f.lines[2].in_test);
+        assert!(!f.lines[4].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_marks_nothing() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() { m.unwrap(); }\n";
+        let f = scan(src);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("let m: HashMap<u8, u8>;", "HashMap"));
+        assert!(!has_word("let m = unwrap_or_default();", "unwrap"));
+        assert!(has_word("x.unwrap()", "unwrap"));
+    }
+
+    #[test]
+    fn unterminated_string_does_not_panic() {
+        let f = scan("let s = \"never closed\nlet t = 1;\n");
+        assert_eq!(f.lines.len(), 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! End-to-end golden test: the committed fixture tree must produce exactly
+//! the committed JSON report, byte for byte.
+//!
+//! The fixture tree (`crates/lint/fixtures/`) mirrors the workspace layout
+//! so every scoped rule fires at its real path: panic/index violations in
+//! `crates/core/src/serving.rs`, an `allow-file` pragma in
+//! `crates/hdp/src/engine.rs`, hash iteration in the sampler, serialized
+//! wall clock in the trace module, SAFETY-less `unsafe` in a vendored shim,
+//! and an orphaned fault site. A report drift — new rule, changed message,
+//! changed ordering — shows up here as a readable diff.
+
+use std::path::Path;
+
+fn fixture_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+#[test]
+fn fixture_tree_json_matches_golden() {
+    let report = osr_lint::run(&fixture_root(), false).expect("scan fixture tree");
+    let got = report.render_json();
+    let want = include_str!("golden_report.json");
+    assert_eq!(got.trim(), want.trim(), "fixture report drifted from the golden file");
+}
+
+#[test]
+fn fixture_tree_counts() {
+    let report = osr_lint::run(&fixture_root(), false).expect("scan fixture tree");
+    assert_eq!(report.files_scanned, 11);
+    assert_eq!(report.violations.len(), 14);
+    assert_eq!(report.allowed, 4, "one trailing allow + three allow-file suppressions");
+}
+
+#[test]
+fn report_is_deterministic_across_runs() {
+    let a = osr_lint::run(&fixture_root(), false).expect("first scan");
+    let b = osr_lint::run(&fixture_root(), false).expect("second scan");
+    assert_eq!(a.render_json(), b.render_json());
+    assert_eq!(a.render_human(), b.render_human());
+}
+
+#[test]
+fn human_rendering_carries_spans_and_rules() {
+    let report = osr_lint::run(&fixture_root(), false).expect("scan fixture tree");
+    let human = report.render_human();
+    assert!(human.contains("crates/core/src/serving.rs:4: [panic-path]"));
+    assert!(human.contains("crates/stats/src/faults.rs:8: [fault-site-registration]"));
+    assert!(human.contains("14 violation(s)"));
+}

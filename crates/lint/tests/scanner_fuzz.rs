@@ -1,0 +1,59 @@
+//! The linter gates CI, so it must never panic — on any input, valid Rust
+//! or byte soup. Two property tests drive the full pipeline (scanner,
+//! pragma collection, every rule) over adversarial text.
+
+use osr_lint::rules;
+use osr_lint::scanner;
+use proptest::prelude::*;
+
+/// Run everything the linter would run on one in-memory file.
+fn exercise(path: &str, text: &str) {
+    let scanned = scanner::scan(text);
+    let _ = osr_lint::pragma::collect(&scanned, path);
+    let _ = rules::check_file(path, &scanned);
+    let _ = rules::fault_sites::check(path, &scanned, "tests/fault_injection.rs", Some(text));
+}
+
+/// Paths that hit every scope route in the registry.
+const PATHS: &[&str] = &[
+    "crates/core/src/serving.rs",
+    "crates/hdp/src/engine.rs",
+    "crates/stats/src/metrics.rs",
+    "crates/stats/src/faults.rs",
+    "crates/rand/src/lib.rs",
+    "crates/bench/src/harness.rs",
+];
+
+/// Fragments that steer generation into the scanner's deep states:
+/// string/char/raw-string openers, comment nesting, test markers, pragma
+/// syntax, and every rule's trigger tokens.
+const TOKENS: &[&str] = &[
+    "\"", "\\", "'", "r#\"", "\"#", "b\"", "//", "/*", "*/", "\n", "{", "}", "(", ")", ";",
+    "fn f", "#[cfg(test)]", "#[test]", "mod t", "unsafe", "SAFETY:", ".unwrap()", ".expect(",
+    "panic!", "x[i]", "#[derive(Serialize)]", "struct S", "SystemTime", "Instant",
+    "#[serde(skip)]", "HashMap", "thread_rng", "SeqCst", "pub mod sites", "const A: &str = ",
+    "osr-lint: allow(panic-path, why)", "osr-lint: allow-file(", "osr-lint: allow(", "'a",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        codes in prop::collection::vec(0u32..=255, 0..512),
+        path_idx in 0usize..PATHS.len(),
+    ) {
+        let bytes: Vec<u8> = codes.iter().map(|&c| c as u8).collect();
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        exercise(PATHS[path_idx], &text);
+    }
+
+    #[test]
+    fn token_soup_never_panics(
+        picks in prop::collection::vec(0usize..TOKENS.len(), 0..96),
+        path_idx in 0usize..PATHS.len(),
+    ) {
+        let text: String = picks.iter().map(|&i| TOKENS[i]).collect();
+        exercise(PATHS[path_idx], &text);
+    }
+}

@@ -16,6 +16,16 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
 
+# Workspace invariant linter: determinism, panic-freedom on serving paths,
+# unsafe hygiene, atomic orderings, fault-site registration. The JSON
+# report is kept as a build artifact; any violation fails the gate.
+mkdir -p results
+if ! cargo run --release -q -p osr-lint -- --format json > results/lint_report.json; then
+    echo "verify: FAIL — osr-lint found invariant violations:" >&2
+    cargo run --release -q -p osr-lint || true
+    exit 1
+fi
+
 # Observability lock-in: golden traces, convergence diagnostics, and the
 # metrics registry, under the default features...
 cargo test -q --test trace_determinism
@@ -30,7 +40,6 @@ cargo test -q --features fault-inject --test trace_determinism
 cargo test -q -p osr-stats --features fault-inject --test observability
 
 # Two identical seeded serving runs must write byte-identical trace streams.
-mkdir -p results
 ./target/release/trace_dump --seed 2026 --out results/trace_verify_a.jsonl
 ./target/release/trace_dump --seed 2026 --out results/trace_verify_b.jsonl
 if ! diff -q results/trace_verify_a.jsonl results/trace_verify_b.jsonl; then
