@@ -1,0 +1,180 @@
+//! Scalar vs. banked predictive kernels — the tentpole micro-measurement.
+//!
+//! Benchmarks the two fused [`DishBank`] kernels against the legacy per-dish
+//! [`NiwPosterior`] arithmetic they replaced, at the reproduction's two
+//! feature dimensions (LETTER's 16 and USPS-after-PCA's 39):
+//!
+//! * **one-vs-all** — score a single observation under every live dish
+//!   (the collective-decision scoring loop);
+//! * **batch-vs-one** — the chain-rule joint predictive of a block under one
+//!   dish (the Eq. 8 table-dish resampling factor).
+//!
+//! Per-iteration medians and the banked/scalar speedups are written to
+//! `BENCH_predictive.json` at the repository root.
+//!
+//! ```text
+//! cargo bench -p osr-bench --bench predictive
+//! ```
+
+use criterion::{measure, Summary};
+use osr_linalg::Matrix;
+use osr_stats::{sampling, DishBank, NiwParams, NiwPosterior};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::hint::black_box;
+
+/// Live dishes scored by the one-vs-all kernel (a typical post-burn-in menu).
+const DISHES: usize = 12;
+/// Observations absorbed per dish before measuring.
+const OBS_PER_DISH: usize = 30;
+/// Block size for the batch-vs-one kernel (a typical table occupancy).
+const BLOCK: usize = 8;
+const SAMPLES: usize = 2_000;
+const SEED: u64 = 42;
+
+#[derive(Serialize)]
+struct KernelStats {
+    scalar_median_ns: f64,
+    banked_median_ns: f64,
+    speedup_median: f64,
+    samples: usize,
+}
+
+#[derive(Serialize)]
+struct DimReport {
+    dim: usize,
+    dishes: usize,
+    obs_per_dish: usize,
+    block: usize,
+    one_vs_all: KernelStats,
+    batch_vs_one: KernelStats,
+}
+
+#[derive(Serialize)]
+struct Report {
+    seed: u64,
+    dims: Vec<DimReport>,
+}
+
+fn ns(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e9
+}
+
+fn kernel_stats(scalar: Summary, banked: Summary) -> KernelStats {
+    KernelStats {
+        scalar_median_ns: ns(scalar.median),
+        banked_median_ns: ns(banked.median),
+        speedup_median: ns(scalar.median) / ns(banked.median).max(1e-9),
+        samples: scalar.samples.min(banked.samples),
+    }
+}
+
+fn spd(dim: usize) -> Matrix {
+    let mut m = Matrix::scaled_identity(dim, 2.0);
+    for i in 1..dim {
+        m[(i, i - 1)] = 0.3;
+        m[(i - 1, i)] = 0.3;
+    }
+    m
+}
+
+fn bench_dim(dim: usize) -> DimReport {
+    let params = NiwParams::new(vec![0.0; dim], 1.0, dim as f64 + 3.0, spd(dim)).unwrap();
+    let mut rng = StdRng::seed_from_u64(SEED);
+
+    // Identical observation streams feed both representations, so the two
+    // sides evaluate bit-identical posteriors (asserted below).
+    let mut bank = DishBank::new(&params);
+    let mut legacy: Vec<NiwPosterior> = Vec::with_capacity(DISHES);
+    let mut slots: Vec<osr_stats::Slot> = Vec::with_capacity(DISHES);
+    for k in 0..DISHES {
+        let slot = bank.alloc();
+        let mut post = NiwPosterior::from_prior(&params);
+        for _ in 0..OBS_PER_DISH {
+            let x: Vec<f64> = (0..dim)
+                .map(|_| k as f64 + sampling::standard_normal(&mut rng))
+                .collect();
+            bank.add_obs(slot, &x);
+            post.add(&x);
+        }
+        slots.push(slot);
+        legacy.push(post);
+    }
+    let probe = vec![0.3; dim];
+    let block: Vec<Vec<f64>> = (0..BLOCK)
+        .map(|_| (0..dim).map(|_| sampling::standard_normal(&mut rng)).collect())
+        .collect();
+    let refs: Vec<&[f64]> = block.iter().map(Vec::as_slice).collect();
+
+    // Sanity: the one-vs-all kernel agrees with the scalars bit-for-bit;
+    // the block kernel (marginal-likelihood ratio, see DESIGN.md) agrees
+    // with the chain rule to rounding.
+    let mut scratch = vec![0.0; DISHES * dim];
+    let mut scores = Vec::with_capacity(DISHES);
+    bank.score_all(&slots, &probe, &mut scratch, &mut scores);
+    for (got, post) in scores.iter().zip(&legacy) {
+        assert_eq!(got.to_bits(), post.predictive_logpdf(&probe).to_bits());
+    }
+    let banked_lp = bank.block_predictive(slots[0], &refs);
+    let chain_lp = legacy[0].clone().block_predictive_logpdf(&refs);
+    assert!(
+        (banked_lp - chain_lp).abs() <= 1e-9 * chain_lp.abs().max(1.0),
+        "ratio kernel {banked_lp} strayed from chain rule {chain_lp}"
+    );
+
+    let scalar_all = measure(SAMPLES, |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for post in &legacy {
+                acc += post.predictive_logpdf(black_box(&probe));
+            }
+            acc
+        })
+    });
+    let banked_all = measure(SAMPLES, |b| {
+        b.iter(|| {
+            scores.clear();
+            bank.score_all(black_box(&slots), black_box(&probe), &mut scratch, &mut scores);
+            scores.last().copied()
+        })
+    });
+
+    let scalar_block = measure(SAMPLES, |b| {
+        b.iter(|| legacy[0].clone().block_predictive_logpdf(black_box(&refs)))
+    });
+    let banked_block = measure(SAMPLES, |b| {
+        b.iter(|| bank.block_predictive(black_box(slots[0]), black_box(&refs)))
+    });
+
+    DimReport {
+        dim,
+        dishes: DISHES,
+        obs_per_dish: OBS_PER_DISH,
+        block: BLOCK,
+        one_vs_all: kernel_stats(scalar_all, banked_all),
+        batch_vs_one: kernel_stats(scalar_block, banked_block),
+    }
+}
+
+fn main() {
+    let report = Report { seed: SEED, dims: [16, 39].into_iter().map(bench_dim).collect() };
+    for d in &report.dims {
+        eprintln!(
+            "d={:>2}: one-vs-all {:>8.0} ns -> {:>8.0} ns ({:.2}x), \
+             batch-vs-one {:>8.0} ns -> {:>8.0} ns ({:.2}x)",
+            d.dim,
+            d.one_vs_all.scalar_median_ns,
+            d.one_vs_all.banked_median_ns,
+            d.one_vs_all.speedup_median,
+            d.batch_vs_one.scalar_median_ns,
+            d.batch_vs_one.banked_median_ns,
+            d.batch_vs_one.speedup_median,
+        );
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    println!("{json}");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_predictive.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_predictive.json");
+    eprintln!("-> {path}");
+}

@@ -17,7 +17,9 @@ use criterion::{measure, Summary};
 use hdp_osr_core::{HdpOsr, HdpOsrConfig, ServingMode};
 use osr_dataset::protocol::{OpenSetSplit, SplitConfig};
 use osr_dataset::synthetic::letter_config;
-use osr_stats::counters::predictive_logpdf_calls;
+use osr_stats::counters::{
+    predictive_batch_vs_one_calls, predictive_logpdf_calls, predictive_one_vs_all_calls,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
@@ -33,6 +35,8 @@ struct ModeStats {
     classify_mean_ms: f64,
     samples: usize,
     predictive_calls_per_batch: u64,
+    one_vs_all_kernels_per_batch: u64,
+    batch_vs_one_kernels_per_batch: u64,
 }
 
 #[derive(Serialize)]
@@ -65,12 +69,18 @@ fn run_mode(
     let model = HdpOsr::fit(&config, train).expect("fit LETTER replica");
     let fit_ms = ms(t0.elapsed());
 
-    // Machine-independent unit of work: predictive evaluations per batch.
+    // Machine-independent units of work: predictive evaluations per batch,
+    // plus the fused-kernel invocation counts (one-vs-all scoring passes and
+    // batch-vs-one block predictives) that replaced the per-dish loop.
     let before = predictive_logpdf_calls();
+    let before_one = predictive_one_vs_all_calls();
+    let before_block = predictive_batch_vs_one_calls();
     model
         .classify(batch, &mut StdRng::seed_from_u64(SEED))
         .expect("classify LETTER batch");
     let calls = predictive_logpdf_calls() - before;
+    let one_vs_all = predictive_one_vs_all_calls() - before_one;
+    let batch_vs_one = predictive_batch_vs_one_calls() - before_block;
 
     let summary = measure(sample_size, |b| {
         b.iter(|| {
@@ -86,6 +96,8 @@ fn run_mode(
         classify_mean_ms: ms(summary.mean),
         samples: summary.samples,
         predictive_calls_per_batch: calls,
+        one_vs_all_kernels_per_batch: one_vs_all,
+        batch_vs_one_kernels_per_batch: batch_vs_one,
     };
     (stats, summary)
 }

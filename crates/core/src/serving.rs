@@ -484,8 +484,11 @@ fn serve_degraded(
     let mut counts: BTreeMap<DishId, usize> = BTreeMap::new();
     let mut test_dishes = Vec::with_capacity(test.len());
     let mut predictions = Vec::with_capacity(test.len());
-    for x in test {
-        let dish = snap.map_dish(x).unwrap_or(pseudo);
+    // One batched MAP pass: the snapshot scores every point against the
+    // whole frozen menu through the one-vs-all bank kernel, reusing its
+    // scratch buffers across the batch.
+    for mapped in snap.map_dishes(test) {
+        let dish = mapped.unwrap_or(pseudo);
         predictions.push(warm.assoc.decide(dish));
         *counts.entry(dish).or_insert(0) += 1;
         test_dishes.push(dish);

@@ -26,10 +26,10 @@ use std::sync::Arc;
 use rand::Rng;
 
 use osr_stats::special::log_sum_exp;
-use osr_stats::{sampling, NiwPosterior};
+use osr_stats::sampling;
 
 use crate::concentration::{resample_alpha, resample_gamma};
-use crate::state::{DishId, HdpConfig, HdpState, Table};
+use crate::state::{HdpConfig, HdpState, Table};
 
 /// Draw from `exp(lw)`, hardened against hostile inputs: when the log
 /// normalizer is not finite (every weight underflowed to `-inf`, or a
@@ -47,91 +47,99 @@ fn seat_choice<R: Rng + ?Sized>(rng: &mut R, lw: &[f64], what: &str) -> usize {
 impl HdpState {
     /// Resample the table assignment `t_ji` of every item of group `j`
     /// (Eq. 7), in index order.
-    pub(crate) fn seat_group_items<R: Rng + ?Sized>(
-        &mut self,
-        prior_post: &NiwPosterior,
-        j: usize,
-        rng: &mut R,
-    ) {
+    pub(crate) fn seat_group_items<R: Rng + ?Sized>(&mut self, j: usize, rng: &mut R) {
         for i in 0..self.groups[j].len() {
-            self.seat_item(prior_post, j, i, rng);
+            self.seat_item(j, i, rng);
         }
     }
 
     /// Resample `t_ji` (Eq. 7): seat item `i` of group `j` at an existing
     /// table with probability ∝ `n_jt · f_k(x)` or at a new table with
     /// probability ∝ `α₀ · p(x)`, where `p(x)` marginalizes the new table's
-    /// dish over the global menu.
-    pub(crate) fn seat_item<R: Rng + ?Sized>(
-        &mut self,
-        prior_post: &NiwPosterior,
-        j: usize,
-        i: usize,
-        rng: &mut R,
-    ) {
+    /// dish over the global menu. The base-measure term comes from the
+    /// bank's prior constants ([`osr_stats::DishBank::score_prior`]), and
+    /// all candidate buffers live in the state-owned scratch — the move
+    /// allocates nothing.
+    pub(crate) fn seat_item<R: Rng + ?Sized>(&mut self, j: usize, i: usize, rng: &mut R) {
         self.seat_moves += 1;
         self.unseat(j, i);
         // A second handle to the group keeps `x` readable while the seating
         // bookkeeping below takes `&mut self`.
         let group = Arc::clone(&self.groups[j]);
         let x: &[f64] = &group[i];
+        let mut sc = std::mem::take(&mut self.scratch);
 
-        // Predictive of x under every live dish, and under the prior.
-        let dish_pred: Vec<(DishId, f64)> = self
-            .live_dishes()
-            .map(|(id, d)| (id, d.posterior.predictive_logpdf(x)))
-            .collect();
-        let prior_pred = prior_post.predictive_logpdf(x);
+        // Predictive of x under every live dish — one fused pass over the
+        // dish bank (ascending id order, so the downstream categorical draw
+        // consumes the RNG exactly as the per-dish loop did) — and under the
+        // prior.
+        sc.live.clear();
+        sc.live.extend(self.live_dishes().map(|(id, d)| (id, d.slot)));
+        sc.slots.clear();
+        sc.slots.extend(sc.live.iter().map(|&(_, slot)| slot));
+        let d = self.bank.dim();
+        let lanes = (sc.slots.len() * d).max(d);
+        if sc.solve.len() < lanes {
+            sc.solve.resize(lanes, 0.0);
+        }
+        sc.scores.clear();
+        self.bank.score_all(&sc.slots, x, &mut sc.solve[..sc.slots.len() * d], &mut sc.scores);
+        let prior_pred = self.bank.score_prior(x, &mut sc.solve[..d]);
 
         // New-table marginal: Σ_k m_k/(M+γ) f_k + γ/(M+γ) f_0.
         let total_tables = self.total_tables() as f64;
         let gamma = self.gamma;
-        let mut menu_lw: Vec<f64> = dish_pred
-            .iter()
-            .map(|&(id, lp)| (self.dish(id).n_tables as f64).ln() + lp)
-            .collect();
-        menu_lw.push(gamma.ln() + prior_pred);
-        let new_table_marginal = log_sum_exp(&menu_lw) - (total_tables + gamma).ln();
+        sc.menu_lw.clear();
+        for (&(id, _), &lp) in sc.live.iter().zip(&sc.scores) {
+            sc.menu_lw.push((self.dish(id).n_tables as f64).ln() + lp);
+        }
+        sc.menu_lw.push(gamma.ln() + prior_pred);
+        let new_table_marginal = log_sum_exp(&sc.menu_lw) - (total_tables + gamma).ln();
 
         // Candidate log-weights: one per existing table, then the new table.
-        let tables = &self.tables[j];
-        let mut lw: Vec<f64> = Vec::with_capacity(tables.len() + 1);
-        for table in tables {
+        sc.lw.clear();
+        for table in &self.tables[j] {
             // A table pointing at a retired dish is a seating-invariant
             // break: poison the sweep and give the table zero probability
             // mass instead of panicking mid-batch.
-            let pred = dish_pred.iter().find(|&&(id, _)| id == table.dish).map_or_else(
-                || {
-                    osr_stats::divergence::poison("seat_item: table serves a retired dish");
-                    f64::NEG_INFINITY
-                },
-                |&(_, lp)| lp,
-            );
-            lw.push((table.members.len() as f64).ln() + pred);
+            let pred = sc
+                .live
+                .iter()
+                .zip(&sc.scores)
+                .find(|&(&(id, _), _)| id == table.dish)
+                .map_or_else(
+                    || {
+                        osr_stats::divergence::poison("seat_item: table serves a retired dish");
+                        f64::NEG_INFINITY
+                    },
+                    |(_, &lp)| lp,
+                );
+            sc.lw.push((table.members.len() as f64).ln() + pred);
         }
-        lw.push(self.alpha.ln() + new_table_marginal);
+        sc.lw.push(self.alpha.ln() + new_table_marginal);
 
-        let choice = seat_choice(rng, &lw, "table assignment");
+        let choice = seat_choice(rng, &sc.lw, "table assignment");
         if choice < self.tables[j].len() {
             // Existing table.
             let dish = self.tables[j][choice].dish;
-            self.dish_mut(dish).posterior.add(x);
+            self.dish_add(dish, x);
             self.tables[j][choice].members.push(i);
             self.assignment[j][i] = choice;
         } else {
             // New table: draw its dish from the menu posterior (same
             // mixture that formed the marginal above).
-            let menu_choice = seat_choice(rng, &menu_lw, "menu draw");
-            let dish = if menu_choice < dish_pred.len() {
-                dish_pred[menu_choice].0
+            let menu_choice = seat_choice(rng, &sc.menu_lw, "menu draw");
+            let dish = if menu_choice < sc.live.len() {
+                sc.live[menu_choice].0
             } else {
                 self.new_dish()
             };
-            self.dish_mut(dish).posterior.add(x);
+            self.dish_add(dish, x);
             self.dish_mut(dish).n_tables += 1;
             self.tables[j].push(Table { dish, members: vec![i] });
             self.assignment[j][i] = self.tables[j].len() - 1;
         }
+        self.scratch = sc;
     }
 
     /// Remove item `i` of group `j` from its table (no-op when unseated),
@@ -144,7 +152,7 @@ impl HdpState {
         self.assignment[j][i] = usize::MAX;
         let dish = self.tables[j][ti].dish;
         let group = Arc::clone(&self.groups[j]);
-        self.dish_mut(dish).posterior.remove(&group[i]);
+        self.dish_remove(dish, &group[i]);
         let table = &mut self.tables[j][ti];
         if let Some(pos) = table.members.iter().position(|&m| m == i) {
             table.members.swap_remove(pos);
@@ -170,73 +178,75 @@ impl HdpState {
     }
 
     /// Resample `k_jt` for every table of group `j` (Eq. 8), in index order.
-    pub(crate) fn resample_group_dishes<R: Rng + ?Sized>(
-        &mut self,
-        prior_post: &NiwPosterior,
-        j: usize,
-        rng: &mut R,
-    ) {
+    pub(crate) fn resample_group_dishes<R: Rng + ?Sized>(&mut self, j: usize, rng: &mut R) {
         for ti in 0..self.tables[j].len() {
-            self.resample_table_dish(prior_post, j, ti, rng);
+            self.resample_table_dish(j, ti, rng);
         }
     }
 
     /// Resample `k_jt` for one table (Eq. 8): an existing dish with
     /// probability ∝ `m_k · ∏ f_k(x_table)` or a new one with probability
     /// ∝ `γ · ∏ p(x_table)`.
+    ///
+    /// The block's sufficient statistics are computed **once** and shared by
+    /// every candidate dish and by the base-measure term — each candidate
+    /// then costs a single rank-m-updated Cholesky
+    /// ([`osr_stats::DishBank::block_predictive_stats`]) instead of a
+    /// per-point posterior walk.
     pub(crate) fn resample_table_dish<R: Rng + ?Sized>(
         &mut self,
-        prior_post: &NiwPosterior,
         j: usize,
         ti: usize,
         rng: &mut R,
     ) {
         self.seat_moves += 1;
         let old_dish = self.tables[j][ti].dish;
-        let members = self.tables[j][ti].members.clone();
+        // Take the membership list instead of cloning it; it is reinstalled
+        // (possibly under a new dish) below.
+        let members = std::mem::take(&mut self.tables[j][ti].members);
         let group = Arc::clone(&self.groups[j]);
+        let block_refs: Vec<&[f64]> = members.iter().map(|&m| group[m].as_slice()).collect();
+        let mut sc = std::mem::take(&mut self.scratch);
+        self.bank.compute_block_stats(&block_refs, &mut sc.stats);
 
-        // Detach the block from its dish.
+        // Detach the block from its dish in one rank-m step.
         {
-            let dish = self.dish_mut(old_dish);
-            for &m in &members {
-                dish.posterior.remove(&group[m]);
-            }
-            dish.n_tables -= 1;
+            let slot = self.dish(old_dish).slot;
+            self.bank.detach_block(slot, &sc.stats, &block_refs);
+            self.dish_mut(old_dish).n_tables -= 1;
         }
         self.retire_if_empty(old_dish);
 
-        // Score every live dish plus a fresh one.
-        let block_refs: Vec<&[f64]> = members.iter().map(|&m| group[m].as_slice()).collect();
-        let live_ids: Vec<DishId> = self.live_dishes().map(|(id, _)| id).collect();
-        let mut lw = Vec::with_capacity(live_ids.len() + 1);
-        for &id in &live_ids {
-            let Some(dish) = self.dishes[id].as_mut() else {
+        // Score every live dish plus a fresh one, off the same block stats.
+        sc.live_ids.clear();
+        sc.live_ids.extend(self.live_dishes().map(|(id, _)| id));
+        sc.lw.clear();
+        for idx in 0..sc.live_ids.len() {
+            let id = sc.live_ids[idx];
+            let Some(dish) = self.dishes[id].as_ref() else {
                 // live_dishes() just yielded this id; a None here means the
                 // menu mutated under us. Zero mass + poison, not a panic.
                 osr_stats::divergence::poison("resample_table_dish: retired id on the live menu");
-                lw.push(f64::NEG_INFINITY);
+                sc.lw.push(f64::NEG_INFINITY);
                 continue;
             };
-            let lp = dish.posterior.block_predictive_logpdf(&block_refs);
-            lw.push((dish.n_tables as f64).ln() + lp);
+            let (slot, n_tables) = (dish.slot, dish.n_tables);
+            let lp = self.bank.block_predictive_stats(slot, &sc.stats);
+            sc.lw.push((n_tables as f64).ln() + lp);
         }
-        {
-            let mut scratch = prior_post.clone();
-            let lp = scratch.block_predictive_logpdf(&block_refs);
-            lw.push(self.gamma.ln() + lp);
-        }
+        sc.lw.push(self.gamma.ln() + self.bank.block_predictive_prior(&sc.stats));
 
-        let choice = seat_choice(rng, &lw, "dish reassignment");
-        let new_dish = if choice < live_ids.len() { live_ids[choice] } else { self.new_dish() };
+        let choice = seat_choice(rng, &sc.lw, "dish reassignment");
+        let new_dish =
+            if choice < sc.live_ids.len() { sc.live_ids[choice] } else { self.new_dish() };
         {
-            let dish = self.dish_mut(new_dish);
-            for &m in &members {
-                dish.posterior.add(&group[m]);
-            }
-            dish.n_tables += 1;
+            let slot = self.dish(new_dish).slot;
+            self.bank.attach_block(slot, &sc.stats, &block_refs);
+            self.dish_mut(new_dish).n_tables += 1;
         }
         self.tables[j][ti].dish = new_dish;
+        self.tables[j][ti].members = members;
+        self.scratch = sc;
     }
 
     /// Resample γ (Escobar–West) and α₀ (Teh et al. auxiliary variables)

@@ -79,6 +79,7 @@ impl Hdp {
         // Initialize the concentrations at their prior means.
         let gamma = config.gamma_prior.0 / config.gamma_prior.1;
         let alpha = config.alpha_prior.0 / config.alpha_prior.1;
+        let bank = osr_stats::DishBank::new(&params);
         Ok(Self {
             state: HdpState {
                 params,
@@ -86,9 +87,11 @@ impl Hdp {
                 assignment,
                 tables: vec![Vec::new(); n_groups],
                 dishes: Vec::new(),
+                bank,
                 gamma,
                 alpha,
                 seat_moves: 0,
+                scratch: Default::default(),
             },
             config,
             prior_post,
@@ -132,10 +135,10 @@ impl Hdp {
         let moves_before = self.state.seat_moves;
         self.ensure_initialized(rng);
         for j in 0..self.state.groups.len() {
-            self.state.seat_group_items(&self.prior_post, j, rng);
+            self.state.seat_group_items(j, rng);
         }
         for j in 0..self.state.groups.len() {
-            self.state.resample_group_dishes(&self.prior_post, j, rng);
+            self.state.resample_group_dishes(j, rng);
         }
         if self.config.resample_concentrations {
             self.state.resample_concentrations(&self.config, rng);
@@ -203,7 +206,7 @@ impl Hdp {
         }
         self.initialized = true;
         for j in 0..self.state.groups.len() {
-            self.state.seat_group_items(&self.prior_post, j, rng);
+            self.state.seat_group_items(j, rng);
         }
     }
 
@@ -269,7 +272,7 @@ impl Hdp {
 
     /// Posterior predictive log-density of a point under one dish.
     pub fn dish_predictive_logpdf(&self, dish: DishId, x: &[f64]) -> f64 {
-        self.state.dish(dish).posterior.predictive_logpdf(x)
+        self.state.bank.predictive_one(self.state.dish(dish).slot, x)
     }
 
     /// Joint log marginal likelihood of all data given the current seating

@@ -130,10 +130,56 @@ impl PosteriorSnapshot {
     /// # Panics
     /// Panics when `x` does not match the base measure's dimension.
     pub fn map_dish(&self, x: &[f64]) -> Option<DishId> {
+        let (live, slots) = self.live_menu();
+        let mut scratch = vec![0.0; slots.len() * self.state.bank.dim()];
+        let mut scores = Vec::with_capacity(slots.len());
+        self.map_dish_banked(x, &live, &slots, &mut scratch, &mut scores)
+    }
+
+    /// [`Self::map_dish`] over a whole batch: the live menu, the solve
+    /// scratch, and the score buffer are built once and reused across
+    /// points, so degraded frozen serving runs the one-vs-all kernel
+    /// back-to-back with no per-point allocation beyond the result.
+    ///
+    /// # Panics
+    /// Panics when any point does not match the base measure's dimension.
+    pub fn map_dishes(&self, points: &[Vec<f64>]) -> Vec<Option<DishId>> {
+        let (live, slots) = self.live_menu();
+        let mut scratch = vec![0.0; slots.len() * self.state.bank.dim()];
+        let mut scores = Vec::with_capacity(slots.len());
+        points
+            .iter()
+            .map(|x| self.map_dish_banked(x, &live, &slots, &mut scratch, &mut scores))
+            .collect()
+    }
+
+    /// Live menu as parallel `(dish id, m_·k)` rows and bank-slot list,
+    /// ascending id — the shape the one-vs-all kernel consumes.
+    #[allow(clippy::type_complexity)]
+    fn live_menu(&self) -> (Vec<(DishId, usize)>, Vec<osr_stats::Slot>) {
+        let live: Vec<(DishId, usize)> =
+            self.state.live_dishes().map(|(id, d)| (id, d.n_tables)).collect();
+        let slots: Vec<osr_stats::Slot> =
+            self.state.live_dishes().map(|(_, d)| d.slot).collect();
+        (live, slots)
+    }
+
+    fn map_dish_banked(
+        &self,
+        x: &[f64],
+        live: &[(DishId, usize)],
+        slots: &[osr_stats::Slot],
+        scratch: &mut [f64],
+        scores: &mut Vec<f64>,
+    ) -> Option<DishId> {
         let new_lw = self.state.gamma.ln() + self.prior_post.predictive_logpdf(x);
+        scores.clear();
+        // One fused pass over the bank replaces the per-dish predictive
+        // loop; ties still resolve to the lowest dish id (strict `>`).
+        self.state.bank.score_all(slots, x, scratch, scores);
         let mut best: Option<(DishId, f64)> = None;
-        for (id, dish) in self.state.live_dishes() {
-            let lw = (dish.n_tables as f64).ln() + dish.posterior.predictive_logpdf(x);
+        for (&(id, n_tables), &lp) in live.iter().zip(scores.iter()) {
+            let lw = (n_tables as f64).ln() + lp;
             if best.is_none_or(|(_, b)| lw > b) {
                 best = Some((id, lw));
             }
@@ -167,7 +213,6 @@ impl PosteriorSnapshot {
         Ok(BatchSession {
             state,
             config: self.config,
-            prior_post: self.prior_post.clone(),
             batch_group,
             initialized: false,
             sweeps_done: 0,
@@ -187,7 +232,6 @@ impl PosteriorSnapshot {
 pub struct BatchSession {
     state: HdpState,
     config: HdpConfig,
-    prior_post: NiwPosterior,
     batch_group: usize,
     initialized: bool,
     /// Warm sweeps completed by this session (the `sweep` index of traces).
@@ -223,8 +267,8 @@ impl BatchSession {
         let started = std::time::Instant::now();
         let moves_before = self.state.seat_moves;
         self.ensure_initialized(rng);
-        self.state.seat_group_items(&self.prior_post, self.batch_group, rng);
-        self.state.resample_group_dishes(&self.prior_post, self.batch_group, rng);
+        self.state.seat_group_items(self.batch_group, rng);
+        self.state.resample_group_dishes(self.batch_group, rng);
         if self.config.resample_concentrations {
             self.state.resample_concentrations(&self.config, rng);
         }
@@ -288,7 +332,7 @@ impl BatchSession {
             return;
         }
         self.initialized = true;
-        self.state.seat_group_items(&self.prior_post, self.batch_group, rng);
+        self.state.seat_group_items(self.batch_group, rng);
     }
 
     /// Dish currently explaining batch item `i`.

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use osr_stats::{NiwParams, NiwPosterior};
+use osr_stats::{BlockStats, DishBank, NiwParams, Slot};
 
 /// Stable identifier of a dish (global mixture component / HDP-OSR
 /// *subclass*). Dish ids are never reused within a sampler's lifetime, so
@@ -73,13 +73,43 @@ pub(crate) struct Table {
 }
 
 /// One dish on the global menu.
+///
+/// The dish's NIW posterior lives in the state's [`DishBank`]
+/// (struct-of-arrays storage with precomputed predictive constants); the
+/// menu entry only records which bank slot it occupies. Dish *ids* stay
+/// stable and monotone; bank *slots* are recycled through the bank's
+/// free-list when a dish retires.
 #[derive(Debug, Clone)]
 pub(crate) struct Dish {
-    /// NIW posterior over the dish's component parameters, absorbing every
-    /// item at every table serving it.
-    pub posterior: NiwPosterior,
+    /// Storage slot in [`HdpState::bank`] holding this dish's posterior.
+    pub slot: Slot,
     /// Number of tables (across all restaurants) serving this dish (`m_·k`).
     pub n_tables: usize,
+}
+
+/// Reusable buffers for the per-item / per-table seating moves, owned by
+/// the state so the hot loops of `engine.rs` allocate nothing per decision.
+/// Purely scratch: contents are meaningless between moves, and a cloned
+/// state (snapshot → session) merely inherits capacity.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SeatScratch {
+    /// Live `(dish id, bank slot)` menu, rebuilt per move.
+    pub live: Vec<(DishId, Slot)>,
+    /// The slots of `live`, in the same order (the one-vs-all kernel's
+    /// argument layout).
+    pub slots: Vec<Slot>,
+    /// `d`-length solve buffer for the scoring kernels.
+    pub solve: Vec<f64>,
+    /// Per-dish predictive log-densities, parallel to `live`.
+    pub scores: Vec<f64>,
+    /// Menu-marginal log-weights (per dish, then the γ·prior tail).
+    pub menu_lw: Vec<f64>,
+    /// Candidate log-weights of the categorical seating draw.
+    pub lw: Vec<f64>,
+    /// Live dish ids for the table-dish move.
+    pub live_ids: Vec<DishId>,
+    /// Block sufficient statistics shared across Eq. 8 candidates.
+    pub stats: BlockStats,
 }
 
 /// The full mutable franchise state the seating engine operates on.
@@ -96,9 +126,12 @@ pub(crate) struct HdpState {
     pub assignment: Vec<Vec<usize>>,
     /// Tables per restaurant.
     pub tables: Vec<Vec<Table>>,
-    /// Global menu, keyed by stable [`DishId`]; `None` slots are retired
+    /// Global menu, keyed by stable [`DishId`]; `None` entries are retired
     /// dishes (ids are not reused).
     pub dishes: Vec<Option<Dish>>,
+    /// Struct-of-arrays bank of the live dishes' NIW posteriors with
+    /// precomputed predictive constants — the vectorized scoring hot path.
+    pub bank: DishBank,
     /// Top-level concentration γ.
     pub gamma: f64,
     /// Group-level concentration α₀.
@@ -108,6 +141,8 @@ pub(crate) struct HdpState {
     /// Cloned along with the state, so a session's per-sweep delta is
     /// independent of how many sweeps the checkpoint itself ran.
     pub seat_moves: u64,
+    /// Per-move scratch buffers (see [`SeatScratch`]); never observable.
+    pub scratch: SeatScratch,
 }
 
 impl HdpState {
@@ -126,13 +161,12 @@ impl HdpState {
         self.dishes.iter().enumerate().filter_map(|(id, d)| d.as_ref().map(|d| (id, d)))
     }
 
-    /// Allocate a new dish starting from the prior.
+    /// Allocate a new dish starting from the prior (its posterior occupies a
+    /// fresh or recycled bank slot).
     pub fn new_dish(&mut self) -> DishId {
         let id = self.dishes.len();
-        self.dishes.push(Some(Dish {
-            posterior: NiwPosterior::from_prior(&self.params),
-            n_tables: 0,
-        }));
+        let slot = self.bank.alloc();
+        self.dishes.push(Some(Dish { slot, n_tables: 0 }));
         id
     }
 
@@ -154,15 +188,35 @@ impl HdpState {
         self.dishes[id].as_ref().expect("dish: retired dish")
     }
 
-    /// Retire a dish once no table serves it.
+    /// Retire a dish once no table serves it, releasing its bank slot for
+    /// reuse (the dish *id* is never reused).
     pub fn retire_if_empty(&mut self, id: DishId) {
-        let empty = {
+        let empty_slot = {
             let d = self.dish(id);
-            d.n_tables == 0 && d.posterior.count() == 0
+            (d.n_tables == 0 && self.bank.count(d.slot) == 0).then_some(d.slot)
         };
-        if empty {
+        if let Some(slot) = empty_slot {
+            self.bank.release(slot);
             self.dishes[id] = None;
         }
+    }
+
+    /// Absorb observation `x` into dish `id`'s posterior.
+    ///
+    /// # Panics
+    /// Panics when the dish is retired.
+    pub fn dish_add(&mut self, id: DishId, x: &[f64]) {
+        let slot = self.dish(id).slot;
+        self.bank.add_obs(slot, x);
+    }
+
+    /// Remove observation `x` from dish `id`'s posterior.
+    ///
+    /// # Panics
+    /// Panics when the dish is retired.
+    pub fn dish_remove(&mut self, id: DishId, x: &[f64]) {
+        let slot = self.dish(id).slot;
+        self.bank.remove_obs(slot, x);
     }
 
     /// Dish currently explaining item `i` of group `j`.
@@ -197,8 +251,8 @@ impl HdpState {
             .map(|(id, d)| DishSummary {
                 id,
                 n_tables: d.n_tables,
-                n_items: d.posterior.count(),
-                mean: d.posterior.mean().to_vec(),
+                n_items: self.bank.count(d.slot),
+                mean: self.bank.mean(d.slot).to_vec(),
             })
             .collect()
     }
@@ -206,7 +260,7 @@ impl HdpState {
     /// Joint log marginal likelihood of all data given the current seating
     /// (sum of per-dish closed-form marginals) — a convergence diagnostic.
     pub fn joint_log_likelihood(&self) -> f64 {
-        self.live_dishes().map(|(_, d)| d.posterior.log_marginal(&self.params)).sum()
+        self.live_dishes().map(|(_, d)| self.bank.log_marginal(d.slot, &self.params)).sum()
     }
 
     /// Exhaustive O(n) consistency audit; used by tests after every sweep.
@@ -241,15 +295,25 @@ impl HdpState {
                 "group {j} has unseated items outside initialization"
             );
         }
+        let mut slot_owner = vec![None::<DishId>; self.bank.n_slots()];
         for (id, dish) in self.dishes.iter().enumerate() {
             if let Some(d) = dish {
                 assert_eq!(d.n_tables, dish_tables[id], "dish {id} table count drift");
-                assert_eq!(d.posterior.count(), dish_items[id], "dish {id} item count drift");
+                assert_eq!(self.bank.count(d.slot), dish_items[id], "dish {id} item count drift");
                 assert!(d.n_tables > 0, "live dish {id} has no tables");
+                assert!(self.bank.is_live(d.slot), "dish {id} points at freed bank slot {}", d.slot);
+                if let Some(prev) = slot_owner[d.slot].replace(id) {
+                    panic!("dishes {prev} and {id} share bank slot {}", d.slot);
+                }
             } else {
                 assert_eq!(dish_tables[id], 0, "retired dish {id} still served");
             }
         }
+        assert_eq!(
+            self.bank.n_live(),
+            self.n_dishes(),
+            "bank live-slot count disagrees with the menu"
+        );
     }
 }
 
@@ -290,15 +354,19 @@ mod tests {
     }
 
     fn empty_state() -> HdpState {
+        let params = params();
+        let bank = DishBank::new(&params);
         HdpState {
-            params: params(),
+            params,
             groups: vec![Arc::new(vec![vec![0.0, 0.0], vec![1.0, 1.0]])],
             assignment: vec![vec![usize::MAX, usize::MAX]],
             tables: vec![vec![]],
             dishes: vec![],
+            bank,
             gamma: 1.0,
             alpha: 1.0,
             seat_moves: 0,
+            scratch: SeatScratch::default(),
         }
     }
 
@@ -341,8 +409,8 @@ mod tests {
         let dish = s.new_dish();
         let x0 = s.groups[0][0].clone();
         let x1 = s.groups[0][1].clone();
-        s.dish_mut(dish).posterior.add(&x0);
-        s.dish_mut(dish).posterior.add(&x1);
+        s.dish_add(dish, &x0);
+        s.dish_add(dish, &x1);
         s.dish_mut(dish).n_tables = 1;
         s.tables[0].push(Table { dish, members: vec![0, 1] });
         s.assignment[0] = vec![0, 0];
@@ -367,8 +435,8 @@ mod tests {
         let dish = s.new_dish();
         let x0 = s.groups[0][0].clone();
         let x1 = s.groups[0][1].clone();
-        s.dish_mut(dish).posterior.add(&x0);
-        s.dish_mut(dish).posterior.add(&x1);
+        s.dish_add(dish, &x0);
+        s.dish_add(dish, &x1);
         s.dish_mut(dish).n_tables = 2; // lie
         s.tables[0].push(Table { dish, members: vec![0, 1] });
         s.assignment[0] = vec![0, 0];
@@ -381,8 +449,8 @@ mod tests {
         let mut s = empty_state();
         let dish = s.new_dish();
         let x0 = s.groups[0][0].clone();
-        s.dish_mut(dish).posterior.add(&x0);
-        s.dish_mut(dish).posterior.add(&x0);
+        s.dish_add(dish, &x0);
+        s.dish_add(dish, &x0);
         s.dish_mut(dish).n_tables = 1;
         s.tables[0].push(Table { dish, members: vec![0, 0] });
         s.assignment[0] = vec![0, 0];

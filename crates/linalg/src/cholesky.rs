@@ -56,6 +56,29 @@ impl Cholesky {
         Ok(Self { l })
     }
 
+    /// Wrap an already-computed lower-triangular factor.
+    ///
+    /// For callers that maintain the factor in their own storage (the dish
+    /// bank keeps it packed) and need to re-enter the dense API — e.g. to
+    /// reconstruct `A = L L'` on the rank-1 downdate rescue path with the
+    /// exact operation sequence of the dense implementation. The strict
+    /// upper triangle must be zero and diagonal entries positive; only
+    /// debug builds verify this.
+    ///
+    /// # Panics
+    /// Panics when `l` is not square.
+    pub fn from_factor(l: Matrix) -> Self {
+        assert!(l.is_square(), "Cholesky::from_factor: factor must be square");
+        #[cfg(debug_assertions)]
+        for i in 0..l.rows() {
+            debug_assert!(l[(i, i)] > 0.0, "from_factor: non-positive diagonal at {i}");
+            for j in (i + 1)..l.cols() {
+                debug_assert_eq!(l[(i, j)], 0.0, "from_factor: nonzero above diagonal");
+            }
+        }
+        Self { l }
+    }
+
     /// Order of the factored matrix.
     #[inline]
     pub fn dim(&self) -> usize {

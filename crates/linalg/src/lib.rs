@@ -12,7 +12,10 @@
 //! * [`Pca`] — principal component analysis built on the above (used to
 //!   project the USPS replica to 39 dimensions exactly as the paper does),
 //! * [`vector`] — free functions over `&[f64]` slices (dot products, norms,
-//!   distances) shared by every crate in the workspace.
+//!   distances) shared by every crate in the workspace,
+//! * [`lanes`] — explicit-width f64 lane helpers (4-wide dot/axpy and the
+//!   fused packed triangular solve) backing the vectorized predictive
+//!   kernels of the dish bank.
 //!
 //! All routines are deterministic and panic-free on well-formed input;
 //! failure modes that depend on the *values* (e.g. a non-positive-definite
@@ -24,6 +27,7 @@
 mod cholesky;
 mod eigen;
 mod error;
+pub mod lanes;
 mod matrix;
 mod pca;
 pub mod vector;

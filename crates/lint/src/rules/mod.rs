@@ -10,6 +10,7 @@
 //! sampler/trace paths whose iteration order reaches golden traces, and so
 //! on. Scopes are path prefixes relative to the workspace root.
 
+pub mod alloc_free;
 pub mod atomics;
 pub mod determinism;
 pub mod fault_sites;
@@ -30,6 +31,7 @@ pub const RULE_NAMES: &[&str] = &[
     "ambient-rng",
     "seqcst-atomic",
     "fault-site-registration",
+    "predictive-no-alloc",
 ];
 
 /// Vendored dependency-shim crates (directory names under `crates/`).
@@ -68,6 +70,11 @@ pub const SEQCST_FILES: &[&str] = &[
     "crates/core/src/serving.rs",
 ];
 
+/// The dish-bank module whose fused predictive kernels must stay
+/// allocation-free (the `predictive-no-alloc` rule, PR 6: a stray clone in
+/// the hot kernels silently undoes the struct-of-arrays speedup).
+pub const PREDICTIVE_KERNEL_FILE: &str = "crates/stats/src/bank.rs";
+
 /// Where the fault-injection site registry and its test registry live.
 pub const FAULT_SITES_FILE: &str = "crates/stats/src/faults.rs";
 /// Integration suite every fault site must appear in.
@@ -103,6 +110,9 @@ pub fn check_file(path: &str, file: &ScannedFile) -> Vec<Diagnostic> {
     }
     if SEQCST_FILES.contains(&path) {
         out.extend(atomics::check(path, file));
+    }
+    if path == PREDICTIVE_KERNEL_FILE {
+        out.extend(alloc_free::check(path, file));
     }
     out
 }

@@ -26,9 +26,9 @@ fn fixture_tree_json_matches_golden() {
 #[test]
 fn fixture_tree_counts() {
     let report = osr_lint::run(&fixture_root(), false).expect("scan fixture tree");
-    assert_eq!(report.files_scanned, 11);
-    assert_eq!(report.violations.len(), 14);
-    assert_eq!(report.allowed, 4, "one trailing allow + three allow-file suppressions");
+    assert_eq!(report.files_scanned, 12);
+    assert_eq!(report.violations.len(), 16);
+    assert_eq!(report.allowed, 5, "two trailing allows + three allow-file suppressions");
 }
 
 #[test]
@@ -45,5 +45,6 @@ fn human_rendering_carries_spans_and_rules() {
     let human = report.render_human();
     assert!(human.contains("crates/core/src/serving.rs:4: [panic-path]"));
     assert!(human.contains("crates/stats/src/faults.rs:8: [fault-site-registration]"));
-    assert!(human.contains("14 violation(s)"));
+    assert!(human.contains("crates/stats/src/bank.rs:9: [predictive-no-alloc]"));
+    assert!(human.contains("16 violation(s)"));
 }

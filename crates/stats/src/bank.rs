@@ -1,0 +1,1454 @@
+//! Struct-of-arrays bank of NIW posteriors: the vectorized predictive hot
+//! path.
+//!
+//! The collapsed Gibbs sampler evaluates one Student-t posterior predictive
+//! per live dish per seating decision. With per-dish [`crate::NiwPosterior`]
+//! objects each evaluation re-derives the predictive constants (two
+//! `ln_gamma`s, the factor log-determinant, a `ln`/`exp` pair for the scale)
+//! and allocates two temporaries — work that only changes when the dish
+//! *changes*, not when it is *scored*. [`DishBank`] moves every dish into
+//! contiguous struct-of-arrays storage:
+//!
+//! ```text
+//! slot:        0        1        2        ...          (free-list reuses slots)
+//! mu:      [── d ──][── d ──][── d ──]                 contiguous means
+//! chol:    [─ tri ─][─ tri ─][─ tri ─]                 column-packed lower Cholesky of Ψₙ
+//! psi:     [─ tri ─][─ tri ─][─ tri ─]                 column-packed lower triangle of Ψₙ
+//! kappa/nu/n/df/exp_ls/base/half_df_dd/log_det:  one f64 (or usize) per slot
+//! ```
+//!
+//! where `tri = d(d+1)/2` and each triangle stores its columns contiguously
+//! (column `j` contributes `d − j` entries, diagonal first, at offset
+//! `j·d − j(j−1)/2`). Column order is what makes the hot mutations — the
+//! Givens rank-1 update/downdate of the factor and the symmetric rank-1
+//! update of Ψ — walk contiguous memory with elementwise lane helpers
+//! ([`osr_linalg::lanes::givens_update_col`], [`osr_linalg::lanes::axpy4`]),
+//! and the forward substitution still visits each accumulator in the same
+//! ascending order ([`osr_linalg::lanes::fused_solve_lower_cols`]). The
+//! per-dish constants are refreshed once per add/remove (the same
+//! transcendental count the legacy path paid per *evaluation*), with the
+//! count-dependent transcendentals memoized in a bit-validated lattice cache
+//! ([`CountConstants`]); scoring reduces to the fused solve, a sequential
+//! squared norm, and a single `ln`.
+//!
+//! # The two kernels and their numerics contracts
+//!
+//! **One observation vs. all dishes** ([`score_all`](DishBank::score_all),
+//! plus the base-measure companion [`score_prior`](DishBank::score_prior)):
+//! every cached constant is computed by the exact operation sequence of
+//! [`crate::NiwPosterior::predictive_logpdf`] /
+//! [`crate::mvn::mvt_logpdf_scaled`], and the per-evaluation remainder
+//! preserves the legacy left-associated order, so bank scores equal the
+//! legacy scores *to the bit* (property-tested in
+//! `crates/stats/tests/bank_equivalence.rs`). The reassociating lane helper
+//! `dot4` is deliberately **not** used on this path — see the
+//! `osr_linalg::lanes` module docs.
+//!
+//! **A batch of observations vs. one dish**
+//! ([`block_predictive_stats`](DishBank::block_predictive_stats)): the
+//! chain-rule product of per-point Student-t predictives telescopes into a
+//! closed-form marginal-likelihood ratio,
+//!
+//! ```text
+//! ln p(X | D) = −(m·d/2) ln π
+//!             + ln Γ_d(ν_{n+m}/2) − ln Γ_d(ν_n/2)
+//!             + (ν_n/2) ln|Ψ_n| − (ν_{n+m}/2) ln|Ψ_{n+m}|
+//!             + (d/2)(ln κ_n − ln κ_{n+m})
+//! Ψ_{n+m} = Ψ_n + S + κ_n m/(κ_n+m) · δδ',   δ = x̄ − μ_n,
+//! S = Σᵢ (xᵢ−x̄)(xᵢ−x̄)'
+//! ```
+//!
+//! which the bank evaluates with one fresh O(d³/3) Cholesky per candidate
+//! dish instead of the legacy `m × (solve + rank-1 update + rank-1 downdate)`
+//! cycle — the block stats `(m, x̄, S)` are computed **once per block**
+//! ([`compute_block_stats`](DishBank::compute_block_stats)) and reused across
+//! every candidate, and the multivariate-gamma difference collapses to `2m`
+//! lookups in a lazily grown `ln Γ((ν₀+j)/2)` lattice table. This form is
+//! mathematically identical to the chain rule but **not bit-identical** to
+//! it; the golden traces were deliberately re-pinned when it landed (see
+//! DESIGN.md, "Posterior bank layout and vectorized predictive" — numerics
+//! note). Determinism is preserved: the result is a pure function of the
+//! posterior state and the block, with fixed accumulation order everywhere.
+//!
+//! Slots are dense and reused through a free-list; the sampler's stable,
+//! monotone `DishId`s live one layer up (`osr-hdp`) and map onto slots, so
+//! retirement never moves another dish's data.
+
+use osr_linalg::lanes::{axpy4, fused_solve_lower_cols, givens_downdate_col, givens_update_col};
+use osr_linalg::{vector, Cholesky, Matrix};
+
+use crate::niw::{factor_spd_with_jitter, NiwParams};
+use crate::special::{ln_gamma, ln_multigamma};
+
+/// Index of a dish's storage slot inside a [`DishBank`].
+pub type Slot = usize;
+
+/// Sufficient statistics of one observation block — everything the
+/// batch-vs-one kernel needs that does not depend on the candidate dish:
+/// the count `m`, the block mean `x̄`, and the centered scatter
+/// `S = Σ (xᵢ−x̄)(xᵢ−x̄)'` (column-packed lower triangle).
+///
+/// Compute once per block with
+/// [`DishBank::compute_block_stats`], then score the same block against any
+/// number of candidate dishes with
+/// [`DishBank::block_predictive_stats`] — the stats are shared, the O(d³)
+/// per-candidate work is not recomputed per point.
+#[derive(Debug, Clone, Default)]
+pub struct BlockStats {
+    /// Number of points in the block.
+    pub m: usize,
+    /// Block mean `x̄`, length `d`.
+    pub xbar: Vec<f64>,
+    /// Centered scatter `S`, column-packed lower triangle, length
+    /// `d(d+1)/2`.
+    pub scatter: Vec<f64>,
+    /// Internal centering scratch, length `d`.
+    dev: Vec<f64>,
+}
+
+impl BlockStats {
+    /// Stats buffers sized for dimension `d` (avoids first-use growth).
+    pub fn new(d: usize) -> Self {
+        Self {
+            m: 0,
+            xbar: vec![0.0; d],
+            scatter: vec![0.0; d * (d + 1) / 2],
+            dev: vec![0.0; d],
+        }
+    }
+}
+
+/// Struct-of-arrays storage for every live dish's NIW posterior plus the
+/// precomputed predictive constants. See the module docs for layout and the
+/// per-kernel numerics contracts.
+#[derive(Debug, Clone)]
+pub struct DishBank {
+    d: usize,
+    /// `d (d + 1) / 2`: packed lower-triangle length per slot.
+    tri: usize,
+
+    // Prior template a fresh slot is stamped from, plus the prior's own
+    // predictive constants (the base measure is scored like a dish that
+    // absorbed nothing).
+    prior_kappa: f64,
+    prior_nu: f64,
+    prior_mu: Vec<f64>,
+    prior_chol: Vec<f64>,
+    prior_psi: Vec<f64>,
+    prior_log_det: f64,
+    prior_df: f64,
+    prior_half_df_dd: f64,
+    prior_exp_ls: f64,
+    prior_base: f64,
+
+    // Per-slot posterior state (SoA).
+    n: Vec<usize>,
+    kappa: Vec<f64>,
+    nu: Vec<f64>,
+    /// Posterior means, `slots × d`.
+    mu: Vec<f64>,
+    /// Column-packed lower-triangular Cholesky factors of Ψₙ,
+    /// `slots × tri` (column `j` at offset `j·d − j(j−1)/2`, diagonal
+    /// first).
+    chol: Vec<f64>,
+    /// Column-packed lower triangles of Ψₙ itself, `slots × tri`, maintained
+    /// by the same rank-1 steps as the factor. The block kernel reads Ψₙ
+    /// directly when forming the rank-m updated scale.
+    psi: Vec<f64>,
+
+    // Per-slot predictive constants (refreshed on every add/remove).
+    /// Student-t degrees of freedom `νₙ − d + 1`.
+    df: Vec<f64>,
+    /// `0.5 (df + d)` — the multiplier of the per-evaluation `ln` term.
+    half_df_dd: Vec<f64>,
+    /// `exp(ln c)` for the scale `c = (κ+1)/(κ df)`, dividing the quadratic
+    /// form exactly as the legacy scaled evaluation does.
+    exp_ls: Vec<f64>,
+    /// The observation-independent prefix of the log-density.
+    base: Vec<f64>,
+    /// `ln |Ψₙ|` of the packed factor (legacy `Cholesky::log_det` order).
+    log_det_chol: Vec<f64>,
+
+    live: Vec<bool>,
+    free: Vec<Slot>,
+
+    /// Memoized count-dependent transcendentals, indexed by observation
+    /// count `n` (see [`CountConstants`]).
+    count_cache: Vec<CountConstants>,
+    /// Lazily grown lattice table `T[idx] = ln Γ((ν₀ + idx − (d−1)) / 2)`,
+    /// shared by every slot: νₙ walks `ν₀ + n` by exact `±1.0` steps, so the
+    /// multivariate-gamma difference in the block ratio reduces to `2m`
+    /// table lookups (see [`DishBank::block_predictive_stats`]).
+    ln_gamma_nu: Vec<f64>,
+
+    // Update/evaluation scratch (never observable; cloned banks just carry
+    // capacity).
+    scratch_dir: Vec<f64>,
+    scratch_mu: Vec<f64>,
+    scratch_w: Vec<f64>,
+    /// Rank-m updated scale `Ψ_{n+m}` workspace for the block kernel.
+    scratch_a: Vec<f64>,
+    /// Factorization workspace for the rank-m attach/detach state updates.
+    scratch_f: Vec<f64>,
+    /// Block-stats workspace backing the allocation-free
+    /// [`block_predictive`](DishBank::block_predictive) convenience wrapper.
+    scratch_stats: BlockStats,
+}
+
+/// Memoized transcendentals of the predictive constants that depend only on
+/// the observation count `n` (through `κₙ = κ₀ + n` and `νₙ = ν₀ + n`, both
+/// accumulated by exact `± 1.0` steps).
+///
+/// The cache is *validated, not trusted*: each entry stores the exact
+/// `(κ, ν)` bit patterns it was computed from, and [`DishBank`] recomputes on
+/// any mismatch. A hit therefore returns values produced by the identical
+/// operation sequence on identical input bits — bit-identity holds by
+/// construction, and a hypothetical `+1.0`/`−1.0` round-trip that failed to
+/// restore `κ` exactly would merely miss the cache, never corrupt a score.
+#[derive(Debug, Clone, Copy)]
+struct CountConstants {
+    valid: bool,
+    kappa_bits: u64,
+    nu_bits: u64,
+    /// `ln Γ((df + d) / 2)`.
+    g1: f64,
+    /// `ln Γ(df / 2)`.
+    g2: f64,
+    /// `ln(df π)`.
+    ln_pi_df: f64,
+    /// `ln c` for the scale `c = (κ+1)/(κ df)`.
+    els: f64,
+    /// `exp(ln c)`.
+    exp_ls: f64,
+}
+
+impl CountConstants {
+    const EMPTY: Self = Self {
+        valid: false,
+        kappa_bits: 0,
+        nu_bits: 0,
+        g1: 0.0,
+        g2: 0.0,
+        ln_pi_df: 0.0,
+        els: 0.0,
+        exp_ls: 0.0,
+    };
+}
+
+impl DishBank {
+    /// Empty bank over the base measure `params`.
+    pub fn new(params: &NiwParams) -> Self {
+        let d = params.dim();
+        let dd = d as f64;
+        let tri = d * (d + 1) / 2;
+        let l = params.psi0_chol().factor_l();
+        let mut prior_chol = Vec::with_capacity(tri);
+        for j in 0..d {
+            for i in j..d {
+                prior_chol.push(l[(i, j)]);
+            }
+        }
+        let psi0 = params.psi0();
+        let mut prior_psi = Vec::with_capacity(tri);
+        for j in 0..d {
+            for i in j..d {
+                prior_psi.push(psi0[(i, j)]);
+            }
+        }
+        // Prior predictive constants, by the exact sequence of
+        // `refresh_constants` on a fresh slot.
+        let mut ln_sum = 0.0;
+        let mut off = 0;
+        for j in 0..d {
+            ln_sum += prior_chol[off].ln();
+            off += d - j;
+        }
+        let prior_log_det = ln_sum * 2.0;
+        let df = params.nu0 - dd + 1.0;
+        let scale = (params.kappa0 + 1.0) / (params.kappa0 * df);
+        let els = scale.ln();
+        let log_det = prior_log_det + dd * els;
+        let prior_base = ln_gamma((df + dd) / 2.0)
+            - ln_gamma(df / 2.0)
+            - 0.5 * dd * (df * std::f64::consts::PI).ln()
+            - 0.5 * log_det;
+        Self {
+            d,
+            tri,
+            prior_kappa: params.kappa0,
+            prior_nu: params.nu0,
+            prior_mu: params.mu0.clone(),
+            prior_chol,
+            prior_psi,
+            prior_log_det,
+            prior_df: df,
+            prior_half_df_dd: 0.5 * (df + dd),
+            prior_exp_ls: els.exp(),
+            prior_base,
+            n: Vec::new(),
+            kappa: Vec::new(),
+            nu: Vec::new(),
+            mu: Vec::new(),
+            chol: Vec::new(),
+            psi: Vec::new(),
+            df: Vec::new(),
+            half_df_dd: Vec::new(),
+            exp_ls: Vec::new(),
+            base: Vec::new(),
+            log_det_chol: Vec::new(),
+            live: Vec::new(),
+            free: Vec::new(),
+            count_cache: Vec::new(),
+            ln_gamma_nu: Vec::new(),
+            scratch_dir: vec![0.0; d],
+            scratch_mu: vec![0.0; d],
+            scratch_w: vec![0.0; d],
+            scratch_a: vec![0.0; tri],
+            scratch_f: vec![0.0; tri],
+            scratch_stats: BlockStats::new(d),
+        }
+    }
+
+    /// Feature dimension `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Number of storage slots (live plus free).
+    #[inline]
+    pub fn n_slots(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Number of live slots.
+    pub fn n_live(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// True when `slot` currently holds a dish.
+    #[inline]
+    pub fn is_live(&self, slot: Slot) -> bool {
+        self.live.get(slot).copied().unwrap_or(false)
+    }
+
+    /// Observations absorbed by the dish at `slot`.
+    #[inline]
+    pub fn count(&self, slot: Slot) -> usize {
+        self.n[slot]
+    }
+
+    /// Posterior mean location μₙ of the dish at `slot`.
+    #[inline]
+    pub fn mean(&self, slot: Slot) -> &[f64] {
+        &self.mu[slot * self.d..(slot + 1) * self.d]
+    }
+
+    /// Allocate a slot initialized to the prior posterior (reusing a freed
+    /// slot when one exists) and return its index.
+    pub fn alloc(&mut self) -> Slot {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = self.live.len();
+                self.n.push(0);
+                self.kappa.push(0.0);
+                self.nu.push(0.0);
+                self.mu.extend(std::iter::repeat_n(0.0, self.d));
+                self.chol.extend(std::iter::repeat_n(0.0, self.tri));
+                self.psi.extend(std::iter::repeat_n(0.0, self.tri));
+                self.df.push(0.0);
+                self.half_df_dd.push(0.0);
+                self.exp_ls.push(0.0);
+                self.base.push(0.0);
+                self.log_det_chol.push(0.0);
+                self.live.push(false);
+                s
+            }
+        };
+        self.n[slot] = 0;
+        self.kappa[slot] = self.prior_kappa;
+        self.nu[slot] = self.prior_nu;
+        self.mu[slot * self.d..(slot + 1) * self.d].copy_from_slice(&self.prior_mu);
+        self.chol[slot * self.tri..(slot + 1) * self.tri].copy_from_slice(&self.prior_chol);
+        self.psi[slot * self.tri..(slot + 1) * self.tri].copy_from_slice(&self.prior_psi);
+        self.live[slot] = true;
+        self.refresh_constants(slot);
+        slot
+    }
+
+    /// Release a slot back to the free-list.
+    ///
+    /// # Panics
+    /// Panics when the slot is already free — that is a bookkeeping bug in
+    /// the caller's id → slot registry.
+    pub fn release(&mut self, slot: Slot) {
+        assert!(self.live[slot], "DishBank::release: slot {slot} is not live");
+        self.live[slot] = false;
+        self.free.push(slot);
+    }
+
+    /// Absorb one observation into the dish at `slot` (O(d²) rank-1 update
+    /// of both the factor and Ψ, plus an O(d) constants refresh). The factor
+    /// path mirrors [`crate::NiwPosterior::add`] operation for operation.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn add_obs(&mut self, slot: Slot, x: &[f64]) {
+        let d = self.d;
+        assert_eq!(x.len(), d, "DishBank::add_obs: dimension mismatch");
+        let kappa = self.kappa[slot];
+        let kappa_new = kappa + 1.0;
+        let coef = (kappa / kappa_new).sqrt();
+        let mu = &self.mu[slot * d..(slot + 1) * d];
+        for ((dst, &xi), &m) in self.scratch_dir.iter_mut().zip(x).zip(mu) {
+            *dst = xi - m;
+        }
+        vector::scale(coef, &mut self.scratch_dir);
+        // Ψ ← Ψ + w w' first — the Givens update below consumes `w`.
+        packed_syr(&mut self.psi[slot * self.tri..(slot + 1) * self.tri], d, 1.0, &self.scratch_dir);
+        // Rank-1 update of the packed factor; scratch_dir doubles as the
+        // working vector `w` (the dense implementation copies it first —
+        // the arithmetic on each element is identical).
+        packed_rank1_update(&mut self.chol[slot * self.tri..(slot + 1) * self.tri], d, &mut self.scratch_dir);
+        let mu = &mut self.mu[slot * d..(slot + 1) * d];
+        for (m, &xi) in mu.iter_mut().zip(x) {
+            *m = (kappa * *m + xi) / kappa_new;
+        }
+        self.kappa[slot] = kappa_new;
+        self.nu[slot] += 1.0;
+        self.n[slot] += 1;
+        self.refresh_constants(slot);
+    }
+
+    /// Remove one previously absorbed observation (O(d²)), mirroring
+    /// [`crate::NiwPosterior::remove`] on the factor — including the dense
+    /// downdate-rescue and divergence-poison fallback paths — and keeping
+    /// the Ψ triangle in step (after a rescue, Ψ is re-derived from the
+    /// repaired factor).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or when `count(slot) == 0`.
+    pub fn remove_obs(&mut self, slot: Slot, x: &[f64]) {
+        let d = self.d;
+        assert_eq!(x.len(), d, "DishBank::remove_obs: dimension mismatch");
+        assert!(self.n[slot] > 0, "DishBank::remove_obs: no observations to remove");
+        #[cfg(feature = "fault-inject")]
+        if crate::faults::hit(crate::faults::sites::CHOLESKY)
+            == Some(crate::faults::Fault::CholeskyFail)
+        {
+            crate::divergence::poison("injected: Ψ downdate not SPD past the jitter ladder");
+        }
+        let kappa = self.kappa[slot];
+        let kappa_new = kappa - 1.0;
+        // New mean first: μ' = (κ μ − x) / κ'.
+        {
+            let mu = &self.mu[slot * d..(slot + 1) * d];
+            for ((m_new, &m), &xi) in self.scratch_mu.iter_mut().zip(mu).zip(x) {
+                *m_new = (kappa * m - xi) / kappa_new;
+            }
+        }
+        // Downdate direction: sqrt(κ'/κ) (x − μ').
+        let coef = (kappa_new / kappa).sqrt();
+        for ((dst, &xi), &m_new) in self.scratch_dir.iter_mut().zip(x).zip(&self.scratch_mu) {
+            *dst = xi - m_new;
+        }
+        vector::scale(coef, &mut self.scratch_dir);
+        // The working vector is a copy so the direction survives a failed
+        // downdate for the dense rescue below (as in the dense API, which
+        // copies internally).
+        self.scratch_w.copy_from_slice(&self.scratch_dir);
+        let packed = &mut self.chol[slot * self.tri..(slot + 1) * self.tri];
+        let psi_packed = &mut self.psi[slot * self.tri..(slot + 1) * self.tri];
+        if packed_rank1_downdate(packed, d, &mut self.scratch_w).is_ok() {
+            packed_syr(psi_packed, d, -1.0, &self.scratch_dir);
+        } else {
+            // Round-off rescue, operation-for-operation the legacy path:
+            // re-enter the dense API on the (possibly partially downdated)
+            // factor, form Ψ − dir dir', and refactor with the jitter ladder.
+            let dense = Cholesky::from_factor(unpack_lower(packed, d));
+            let mut psi = dense.reconstruct();
+            psi.syr(-1.0, &self.scratch_dir);
+            psi.symmetrize();
+            match factor_spd_with_jitter(&psi) {
+                Ok((chol, _)) => pack_lower(chol.factor_l(), packed),
+                Err(_) => {
+                    // Ψ' = Ψ − dir dir' is SPD in exact arithmetic, so only
+                    // non-finite input can land here. Poison the divergence
+                    // flag (the serving watchdog aborts the sweep and
+                    // retries/degrades) and install a structurally valid
+                    // stand-in factor so unwinding bookkeeping stays safe.
+                    crate::divergence::poison("Ψ downdate not SPD past the jitter ladder");
+                    packed.fill(0.0);
+                    let mut off = 0;
+                    for i in 0..d {
+                        packed[off + i] = 1.0;
+                        off += i + 1;
+                    }
+                }
+            }
+            // Whatever factor the rescue settled on is now the posterior;
+            // re-derive the Ψ triangle from it so the block kernel and the
+            // scoring kernels agree on the same repaired state.
+            packed_psi_from_factor(packed, d, psi_packed);
+        }
+        self.mu[slot * d..(slot + 1) * d].copy_from_slice(&self.scratch_mu);
+        self.kappa[slot] = kappa_new;
+        self.nu[slot] -= 1.0;
+        self.n[slot] -= 1;
+        self.refresh_constants(slot);
+    }
+
+    /// Recompute the cached predictive constants of `slot` from its
+    /// posterior state, with the exact operation sequence of the legacy
+    /// per-evaluation derivation (see the module docs).
+    fn refresh_constants(&mut self, slot: Slot) {
+        let d = self.d;
+        let dd = d as f64;
+        // Legacy `Cholesky::log_det`: sum of diagonal lns (ascending, the
+        // column-packed diagonals lead their columns), then × 2.
+        let packed = &self.chol[slot * self.tri..(slot + 1) * self.tri];
+        let mut ln_sum = 0.0;
+        let mut off = 0;
+        for j in 0..d {
+            ln_sum += packed[off].ln();
+            off += d - j;
+        }
+        let log_det_psi = ln_sum * 2.0;
+        self.log_det_chol[slot] = log_det_psi;
+
+        // The transcendentals depend only on (κ, ν), which walk the count
+        // lattice — memoize them per count, validated against the exact
+        // input bits so a hit is bit-identical to recomputation.
+        let kappa = self.kappa[slot];
+        let nu = self.nu[slot];
+        let n = self.n[slot];
+        if self.count_cache.len() <= n {
+            self.count_cache.resize(n + 1, CountConstants::EMPTY);
+        }
+        let entry = &mut self.count_cache[n];
+        if !entry.valid
+            || entry.kappa_bits != kappa.to_bits()
+            || entry.nu_bits != nu.to_bits()
+        {
+            let df = nu - dd + 1.0;
+            let scale = (kappa + 1.0) / (kappa * df);
+            let els = scale.ln();
+            *entry = CountConstants {
+                valid: true,
+                kappa_bits: kappa.to_bits(),
+                nu_bits: nu.to_bits(),
+                g1: ln_gamma((df + dd) / 2.0),
+                g2: ln_gamma(df / 2.0),
+                ln_pi_df: (df * std::f64::consts::PI).ln(),
+                els,
+                exp_ls: els.exp(),
+            };
+        }
+        let consts = self.count_cache[n];
+
+        let df = nu - dd + 1.0;
+        let log_det = log_det_psi + dd * consts.els;
+        self.df[slot] = df;
+        self.half_df_dd[slot] = 0.5 * (df + dd);
+        self.exp_ls[slot] = consts.exp_ls;
+        self.base[slot] =
+            consts.g1 - consts.g2 - 0.5 * dd * consts.ln_pi_df - 0.5 * log_det;
+    }
+
+    /// Grow the shared `ln Γ((ν₀ + idx − (d−1)) / 2)` lattice table to at
+    /// least `len` entries. Entries are appended in index order, so the
+    /// table contents are a pure function of `(ν₀, d, len)`.
+    fn ensure_ln_gamma_nu(&mut self, len: usize) {
+        while self.ln_gamma_nu.len() < len {
+            let j = self.ln_gamma_nu.len() as f64 - (self.d as f64 - 1.0);
+            self.ln_gamma_nu.push(ln_gamma((self.prior_nu + j) / 2.0));
+        }
+    }
+
+    /// **Hot kernel 1 — one observation vs. all dishes** (the collective
+    /// decision scoring pass). Appends to `out` one predictive log-density
+    /// per entry of `slots`, in order. `scratch` is the caller's solve
+    /// buffer of length `slots.len() × d` — one lane per dish — so repeated
+    /// calls (one per seating decision) allocate nothing.
+    ///
+    /// The forward substitutions of all dishes advance **column by column
+    /// together**: a triangular solve is a serial chain of divisions, but
+    /// the chains of different dishes are independent, so interleaving them
+    /// lets the CPU overlap their latency. Per dish the operation sequence
+    /// is exactly [`osr_linalg::lanes::fused_solve_lower_cols`], so the
+    /// result stays **bit-identical** to calling the legacy
+    /// [`crate::NiwPosterior::predictive_logpdf`] on each slot's posterior.
+    ///
+    /// # Panics
+    /// Panics when `x` does not have length `d` or `scratch` does not have
+    /// length `slots.len() × d`.
+    pub fn score_all(&self, slots: &[Slot], x: &[f64], scratch: &mut [f64], out: &mut Vec<f64>) {
+        let started = std::time::Instant::now();
+        let d = self.d;
+        assert_eq!(x.len(), d, "DishBank::score_all: dimension mismatch");
+        assert_eq!(
+            scratch.len(),
+            slots.len() * d,
+            "DishBank::score_all: scratch must hold slots.len() × d lanes"
+        );
+        out.reserve(slots.len());
+        for (lane, &slot) in scratch.chunks_exact_mut(d).zip(slots) {
+            let mu = &self.mu[slot * d..(slot + 1) * d];
+            for ((yi, &xi), &mi) in lane.iter_mut().zip(x).zip(mu) {
+                *yi = xi - mi;
+            }
+        }
+        let mut off = 0;
+        for j in 0..d {
+            let mut lanes = scratch.chunks_exact_mut(d);
+            for (lane, &slot) in lanes.by_ref().zip(slots) {
+                let col = &self.chol[slot * self.tri + off..slot * self.tri + off + (d - j)];
+                let (head, tail) = lane.split_at_mut(j + 1);
+                let yj = head[j] / col[0];
+                head[j] = yj;
+                axpy4(-yj, &col[1..], tail);
+            }
+            off += d - j;
+        }
+        for (lane, &slot) in scratch.chunks_exact(d).zip(slots) {
+            let maha = vector::dot(lane, lane) / self.exp_ls[slot];
+            let df = self.df[slot];
+            out.push(self.base[slot] - self.half_df_dd[slot] * (1.0 + maha / df).ln());
+        }
+        crate::counters::record_predictive_one_vs_all(
+            slots.len() as u64,
+            started.elapsed().as_nanos() as u64,
+        );
+    }
+
+    /// Predictive log-density of `x` under the **base measure** (a dish that
+    /// absorbed nothing) — bit-identical to
+    /// [`crate::NiwPosterior::predictive_logpdf`] on a fresh prior
+    /// posterior, evaluated from constants precomputed at construction.
+    /// `scratch` is the caller's `d`-length solve buffer.
+    ///
+    /// # Panics
+    /// Panics when `x` or `scratch` do not have length `d`.
+    pub fn score_prior(&self, x: &[f64], scratch: &mut [f64]) -> f64 {
+        let started = std::time::Instant::now();
+        assert_eq!(x.len(), self.d, "DishBank::score_prior: dimension mismatch");
+        assert_eq!(scratch.len(), self.d, "DishBank::score_prior: scratch length mismatch");
+        fused_solve_lower_cols(&self.prior_chol, x, &self.prior_mu, scratch);
+        let maha = vector::dot(scratch, scratch) / self.prior_exp_ls;
+        let lp = self.prior_base - self.prior_half_df_dd * (1.0 + maha / self.prior_df).ln();
+        crate::counters::record_predictive_one_vs_all(1, started.elapsed().as_nanos() as u64);
+        lp
+    }
+
+    /// Reduce a block of observations to the dish-independent sufficient
+    /// statistics `(m, x̄, S)` the batch-vs-one kernel consumes. O(m·d²),
+    /// paid **once per block** no matter how many candidate dishes are then
+    /// scored against it. Reuses the buffers inside `stats` (growing them on
+    /// first use).
+    ///
+    /// # Panics
+    /// Panics when any point's dimension mismatches the bank's.
+    pub fn compute_block_stats(&self, points: &[&[f64]], stats: &mut BlockStats) {
+        let d = self.d;
+        stats.m = points.len();
+        stats.xbar.clear();
+        stats.xbar.resize(d, 0.0);
+        stats.scatter.clear();
+        stats.scatter.resize(self.tri, 0.0);
+        stats.dev.clear();
+        stats.dev.resize(d, 0.0);
+        if points.is_empty() {
+            return;
+        }
+        for p in points {
+            assert_eq!(p.len(), d, "DishBank::compute_block_stats: dimension mismatch");
+            for (acc, &xi) in stats.xbar.iter_mut().zip(*p) {
+                *acc += xi;
+            }
+        }
+        let mf = points.len() as f64;
+        for v in stats.xbar.iter_mut() {
+            *v /= mf;
+        }
+        for p in points {
+            for ((dev, &xi), &xb) in stats.dev.iter_mut().zip(*p).zip(&stats.xbar) {
+                *dev = xi - xb;
+            }
+            packed_syr(&mut stats.scatter, d, 1.0, &stats.dev);
+        }
+    }
+
+    /// **Hot kernel 2 — a batch of observations vs. one dish**: the joint
+    /// predictive of the block summarized by `stats` under the dish at
+    /// `slot`, evaluated as a closed-form marginal-likelihood ratio (one
+    /// O(d³/3) Cholesky of the rank-m updated scale — see the module docs
+    /// for the formula and the numerics note). Leaves the slot untouched.
+    ///
+    /// Returns `-inf` (and poisons the divergence flag) when the updated
+    /// scale fails to factor, which only non-finite posterior state can
+    /// cause.
+    pub fn block_predictive_stats(&mut self, slot: Slot, stats: &BlockStats) -> f64 {
+        let started = std::time::Instant::now();
+        if stats.m == 0 {
+            crate::counters::record_predictive_batch_vs_one(
+                0,
+                started.elapsed().as_nanos() as u64,
+            );
+            return 0.0;
+        }
+        let d = self.d;
+        let n = self.n[slot];
+        self.ensure_ln_gamma_nu(n + stats.m + d);
+        let lp = block_ratio(
+            d,
+            &self.psi[slot * self.tri..(slot + 1) * self.tri],
+            &self.mu[slot * d..(slot + 1) * d],
+            self.kappa[slot],
+            self.nu[slot],
+            n,
+            self.log_det_chol[slot],
+            stats,
+            &self.ln_gamma_nu,
+            &mut self.scratch_dir,
+            &mut self.scratch_a,
+        );
+        crate::counters::record_predictive_batch_vs_one(
+            stats.m as u64,
+            started.elapsed().as_nanos() as u64,
+        );
+        lp
+    }
+
+    /// The batch-vs-one kernel against the **base measure** (Eq. 8's
+    /// new-dish factor `∏ p(x)`): identical to
+    /// [`block_predictive_stats`](Self::block_predictive_stats) on a dish
+    /// that absorbed nothing, without materializing one.
+    pub fn block_predictive_prior(&mut self, stats: &BlockStats) -> f64 {
+        let started = std::time::Instant::now();
+        if stats.m == 0 {
+            crate::counters::record_predictive_batch_vs_one(
+                0,
+                started.elapsed().as_nanos() as u64,
+            );
+            return 0.0;
+        }
+        self.ensure_ln_gamma_nu(stats.m + self.d);
+        let lp = block_ratio(
+            self.d,
+            &self.prior_psi,
+            &self.prior_mu,
+            self.prior_kappa,
+            self.prior_nu,
+            0,
+            self.prior_log_det,
+            stats,
+            &self.ln_gamma_nu,
+            &mut self.scratch_dir,
+            &mut self.scratch_a,
+        );
+        crate::counters::record_predictive_batch_vs_one(
+            stats.m as u64,
+            started.elapsed().as_nanos() as u64,
+        );
+        lp
+    }
+
+    /// Absorb a whole block into the dish at `slot` in **one rank-m step**:
+    /// `Ψ ← Ψ + S + κₙm/(κₙ+m)·δδ'` followed by a single fresh O(d³/3)
+    /// factorization, instead of `m` rank-1 Givens walks. O(d³/3 + d²)
+    /// given precomputed [`BlockStats`] — the engine's table-dish move
+    /// computes them once and shares them between scoring and state update.
+    ///
+    /// Falls back to per-point [`add_obs`](Self::add_obs) (which carries the
+    /// full rescue machinery) when the updated scale fails to factor, which
+    /// only non-finite state can cause; `points` must be the block `stats`
+    /// was computed from.
+    pub fn attach_block(&mut self, slot: Slot, stats: &BlockStats, points: &[&[f64]]) {
+        if stats.m == 0 {
+            return;
+        }
+        let d = self.d;
+        let mf = stats.m as f64;
+        let kappa = self.kappa[slot];
+        let kappa_new = kappa + mf;
+        {
+            let mu = &self.mu[slot * d..(slot + 1) * d];
+            for ((dst, &xb), &m) in self.scratch_dir.iter_mut().zip(&stats.xbar).zip(mu) {
+                *dst = xb - m;
+            }
+        }
+        let c = kappa * mf / kappa_new;
+        build_rank_m_scale(
+            d,
+            &self.psi[slot * self.tri..(slot + 1) * self.tri],
+            &stats.scatter,
+            1.0,
+            c,
+            &self.scratch_dir,
+            &mut self.scratch_a,
+        );
+        self.scratch_f.copy_from_slice(&self.scratch_a);
+        if packed_cholesky_log_det(&mut self.scratch_f, d).is_none() {
+            for p in points {
+                self.add_obs(slot, p);
+            }
+            return;
+        }
+        self.psi[slot * self.tri..(slot + 1) * self.tri].copy_from_slice(&self.scratch_a);
+        self.chol[slot * self.tri..(slot + 1) * self.tri].copy_from_slice(&self.scratch_f);
+        let mu = &mut self.mu[slot * d..(slot + 1) * d];
+        for (m, &xb) in mu.iter_mut().zip(&stats.xbar) {
+            *m = (kappa * *m + mf * xb) / kappa_new;
+        }
+        self.kappa[slot] = kappa_new;
+        self.nu[slot] += mf;
+        self.n[slot] += stats.m;
+        self.refresh_constants(slot);
+    }
+
+    /// Remove a whole previously absorbed block from the dish at `slot` in
+    /// one rank-m step — the exact inverse of
+    /// [`attach_block`](Self::attach_block): recover `μₙ`, subtract
+    /// `S + κₙm/(κₙ+m)·δδ'` from Ψ, refactor once. Falls back to per-point
+    /// [`remove_obs`](Self::remove_obs) (jitter rescue, divergence poison)
+    /// when the downdated scale is not SPD.
+    ///
+    /// # Panics
+    /// Panics when the slot holds fewer than `stats.m` observations.
+    pub fn detach_block(&mut self, slot: Slot, stats: &BlockStats, points: &[&[f64]]) {
+        if stats.m == 0 {
+            return;
+        }
+        assert!(
+            self.n[slot] >= stats.m,
+            "DishBank::detach_block: removing more observations than absorbed"
+        );
+        let d = self.d;
+        let mf = stats.m as f64;
+        let kappa = self.kappa[slot];
+        let kappa_new = kappa - mf;
+        // Pre-block mean μₙ, then δ = x̄ − μₙ against it.
+        {
+            let mu = &self.mu[slot * d..(slot + 1) * d];
+            for ((m_old, &m), &xb) in self.scratch_mu.iter_mut().zip(mu).zip(&stats.xbar) {
+                *m_old = (kappa * m - mf * xb) / kappa_new;
+            }
+        }
+        for ((dst, &xb), &m_old) in self.scratch_dir.iter_mut().zip(&stats.xbar).zip(&self.scratch_mu)
+        {
+            *dst = xb - m_old;
+        }
+        let c = kappa_new * mf / kappa;
+        build_rank_m_scale(
+            d,
+            &self.psi[slot * self.tri..(slot + 1) * self.tri],
+            &stats.scatter,
+            -1.0,
+            -c,
+            &self.scratch_dir,
+            &mut self.scratch_a,
+        );
+        self.scratch_f.copy_from_slice(&self.scratch_a);
+        if packed_cholesky_log_det(&mut self.scratch_f, d).is_none() {
+            // Round-off (or hostile input) pushed the downdate outside SPD:
+            // take the per-point path, which rescues or poisons per policy.
+            for p in points {
+                self.remove_obs(slot, p);
+            }
+            return;
+        }
+        self.psi[slot * self.tri..(slot + 1) * self.tri].copy_from_slice(&self.scratch_a);
+        self.chol[slot * self.tri..(slot + 1) * self.tri].copy_from_slice(&self.scratch_f);
+        self.mu[slot * d..(slot + 1) * d].copy_from_slice(&self.scratch_mu);
+        self.kappa[slot] = kappa_new;
+        self.nu[slot] -= mf;
+        self.n[slot] -= stats.m;
+        self.refresh_constants(slot);
+    }
+
+    /// Convenience wrapper chaining
+    /// [`compute_block_stats`](Self::compute_block_stats) into
+    /// [`block_predictive_stats`](Self::block_predictive_stats) for a
+    /// single `(block, dish)` pair, running on bank-owned stats scratch.
+    /// Callers scoring one block against many dishes should compute the
+    /// stats once themselves instead.
+    pub fn block_predictive(&mut self, slot: Slot, points: &[&[f64]]) -> f64 {
+        let mut stats = std::mem::take(&mut self.scratch_stats);
+        self.compute_block_stats(points, &mut stats);
+        let lp = self.block_predictive_stats(slot, &stats);
+        self.scratch_stats = stats;
+        lp
+    }
+
+    /// Predictive log-density of `x` under the single dish at `slot`
+    /// (allocating convenience wrapper over the one-vs-all kernel, for
+    /// accessors and audits off the hot path).
+    pub fn predictive_one(&self, slot: Slot, x: &[f64]) -> f64 {
+        let mut scratch = vec![0.0; self.d];
+        let mut out = Vec::with_capacity(1);
+        self.score_all(&[slot], x, &mut scratch, &mut out);
+        out[0]
+    }
+
+    /// Closed-form log marginal likelihood of the `n` points absorbed by
+    /// `slot` under the prior `params` — the banked
+    /// [`crate::NiwPosterior::log_marginal`].
+    pub fn log_marginal(&self, slot: Slot, params: &NiwParams) -> f64 {
+        let d = self.d;
+        let dd = d as f64;
+        let n = self.n[slot] as f64;
+        -(n * dd / 2.0) * std::f64::consts::PI.ln()
+            + ln_multigamma(d, self.nu[slot] / 2.0)
+            - ln_multigamma(d, params.nu0 / 2.0)
+            + (params.nu0 / 2.0) * params.log_det_psi0()
+            - (self.nu[slot] / 2.0) * self.log_det_chol[slot]
+            + (dd / 2.0) * (params.kappa0.ln() - self.kappa[slot].ln())
+    }
+}
+
+/// The marginal-likelihood-ratio block predictive (module docs formula) of
+/// the block `stats` under the posterior `(Ψₙ, μₙ, κₙ, νₙ, n)`. `delta` and
+/// `a` are `d`- and `tri`-length scratch; `lngamma` is the ν-lattice table
+/// (offset `d−1`), already grown to cover `n + m + d` entries.
+#[allow(clippy::too_many_arguments)]
+fn block_ratio(
+    d: usize,
+    psi: &[f64],
+    mu: &[f64],
+    kappa_n: f64,
+    nu_n: f64,
+    n: usize,
+    log_det_n: f64,
+    stats: &BlockStats,
+    lngamma: &[f64],
+    delta: &mut [f64],
+    a: &mut [f64],
+) -> f64 {
+    let dd = d as f64;
+    let mf = stats.m as f64;
+    for ((dst, &xb), &m) in delta.iter_mut().zip(&stats.xbar).zip(mu) {
+        *dst = xb - m;
+    }
+    let c = kappa_n * mf / (kappa_n + mf);
+    // Ψ_{n+m} = Ψₙ + S + c δδ' (column-packed lower triangle).
+    build_rank_m_scale(d, psi, &stats.scatter, 1.0, c, delta, a);
+    let Some(log_det_a) = packed_cholesky_log_det(a, d) else {
+        crate::divergence::poison("block predictive: rank-m updated scale not SPD");
+        return f64::NEG_INFINITY;
+    };
+    // ln Γ_d(ν_{n+m}/2) − ln Γ_d(ν_n/2): the multivariate gammas share all
+    // but m terms on each side of the ν lattice, so the difference is 2m
+    // table reads (ascending, fixed accumulation order).
+    let off_t = d - 1;
+    let mut g_top = 0.0;
+    let mut g_bot = 0.0;
+    for j in (n + 1)..=(n + stats.m) {
+        g_top += lngamma[j + off_t];
+        g_bot += lngamma[j - 1];
+    }
+    -(mf * dd / 2.0) * std::f64::consts::PI.ln()
+        + (g_top - g_bot)
+        + 0.5 * nu_n * log_det_n
+        - 0.5 * (nu_n + mf) * log_det_a
+        + 0.5 * dd * (kappa_n.ln() - (kappa_n + mf).ln())
+}
+
+/// Build the rank-m-updated scale `A = Ψ + sign·S + c·δδ'` into `a`
+/// (column-packed lower triangles throughout). `sign` is `±1.0` and `c`
+/// carries its own sign, so the same loop serves attach (+) and detach (−).
+fn build_rank_m_scale(
+    d: usize,
+    psi: &[f64],
+    scatter: &[f64],
+    sign: f64,
+    c: f64,
+    delta: &[f64],
+    a: &mut [f64],
+) {
+    let mut off = 0;
+    for j in 0..d {
+        let cdj = c * delta[j];
+        let (pj, sj) = (&psi[off..off + (d - j)], &scatter[off..off + (d - j)]);
+        let out = &mut a[off..off + (d - j)];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = pj[i] + sign * sj[i] + cdj * delta[j + i];
+        }
+        off += d - j;
+    }
+}
+
+/// In-place left-looking Cholesky of a column-packed SPD lower triangle;
+/// returns `ln |A|` (2 × the ascending sum of diagonal lns) or `None` when a
+/// pivot is non-positive or non-finite. O(d³/3); the per-column inner axpy
+/// runs on contiguous column tails.
+fn packed_cholesky_log_det(a: &mut [f64], d: usize) -> Option<f64> {
+    let mut off_j = 0;
+    for j in 0..d {
+        let mut off_k = 0;
+        for k in 0..j {
+            let ljk = a[off_k + (j - k)];
+            let (head, tail) = a.split_at_mut(off_j);
+            let colk = &head[off_k + (j - k)..off_k + (d - k)];
+            let colj = &mut tail[..d - j];
+            axpy4(-ljk, colk, colj);
+            off_k += d - k;
+        }
+        let diag = a[off_j];
+        if !(diag > 0.0) || !diag.is_finite() {
+            return None;
+        }
+        let l = diag.sqrt();
+        a[off_j] = l;
+        for v in a[off_j + 1..off_j + (d - j)].iter_mut() {
+            *v /= l;
+        }
+        off_j += d - j;
+    }
+    let mut ln_sum = 0.0;
+    let mut off = 0;
+    for j in 0..d {
+        ln_sum += a[off].ln();
+        off += d - j;
+    }
+    Some(ln_sum * 2.0)
+}
+
+/// Symmetric rank-1 update `A ← A + α w w'` of a column-packed lower
+/// triangle. Each column's segment is contiguous, so the inner loop is the
+/// elementwise [`osr_linalg::lanes::axpy4`].
+fn packed_syr(packed: &mut [f64], d: usize, alpha: f64, w: &[f64]) {
+    let mut off = 0;
+    for j in 0..d {
+        let aw = alpha * w[j];
+        axpy4(aw, &w[j..], &mut packed[off..off + (d - j)]);
+        off += d - j;
+    }
+}
+
+/// Recompute the column-packed lower triangle of `Ψ = L L'` from a
+/// column-packed factor (used after a downdate rescue replaced the factor
+/// wholesale).
+fn packed_psi_from_factor(l: &[f64], d: usize, psi: &mut [f64]) {
+    // Ψ[i,j] = Σ_{k ≤ j} L[i,k] · L[j,k] for i ≥ j.
+    let mut off_j = 0;
+    for j in 0..d {
+        for i in j..d {
+            let mut acc = 0.0;
+            let mut off_k = 0;
+            for k in 0..=j {
+                acc += l[off_k + (i - k)] * l[off_k + (j - k)];
+                off_k += d - k;
+            }
+            psi[off_j + (i - j)] = acc;
+        }
+        off_j += d - j;
+    }
+}
+
+/// Rank-1 update `A ← A + w w'` of a column-packed lower Cholesky factor,
+/// the Givens recurrence of `Cholesky::update` on column storage (`w` is
+/// consumed). Each column's below-diagonal tail is contiguous, so the
+/// per-element work runs through the vectorizable
+/// [`osr_linalg::lanes::givens_update_col`] lane helper.
+fn packed_rank1_update(packed: &mut [f64], d: usize, w: &mut [f64]) {
+    let mut off = 0;
+    for j in 0..d {
+        let col = &mut packed[off..off + (d - j)];
+        let ljj = col[0];
+        let wj = w[j];
+        let r = (ljj * ljj + wj * wj).sqrt();
+        let c = r / ljj;
+        let s = wj / ljj;
+        col[0] = r;
+        givens_update_col(&mut col[1..], &mut w[j + 1..], c, s);
+        off += d - j;
+    }
+}
+
+/// Rank-1 downdate `A ← A − w w'`; fails (leaving the factor partially
+/// mutated, exactly like the dense implementation) when the result would
+/// not be SPD.
+fn packed_rank1_downdate(packed: &mut [f64], d: usize, w: &mut [f64]) -> Result<(), ()> {
+    let mut off = 0;
+    for j in 0..d {
+        let col = &mut packed[off..off + (d - j)];
+        let ljj = col[0];
+        let wj = w[j];
+        let dsq = ljj * ljj - wj * wj;
+        if !(dsq > 0.0) || !dsq.is_finite() {
+            return Err(());
+        }
+        let r = dsq.sqrt();
+        let c = r / ljj;
+        let s = wj / ljj;
+        col[0] = r;
+        givens_downdate_col(&mut col[1..], &mut w[j + 1..], c, s);
+        off += d - j;
+    }
+    Ok(())
+}
+
+/// Expand a column-packed lower factor to a dense `Matrix` (zeros above the
+/// diagonal).
+fn unpack_lower(packed: &[f64], d: usize) -> Matrix {
+    let mut l = Matrix::zeros(d, d);
+    let mut off = 0;
+    for j in 0..d {
+        for i in j..d {
+            l[(i, j)] = packed[off + (i - j)];
+        }
+        off += d - j;
+    }
+    l
+}
+
+/// Pack a dense lower-triangular factor into `packed`.
+fn pack_lower(l: &Matrix, packed: &mut [f64]) {
+    let d = l.rows();
+    let mut off = 0;
+    for j in 0..d {
+        for i in j..d {
+            packed[off + (i - j)] = l[(i, j)];
+        }
+        off += d - j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NiwPosterior;
+
+    fn params2() -> NiwParams {
+        NiwParams::new(
+            vec![0.0, 0.0],
+            1.0,
+            4.0,
+            Matrix::from_rows(&[vec![1.0, 0.2], vec![0.2, 1.5]]),
+        )
+        .unwrap()
+    }
+
+    fn pts() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.5, -0.3],
+            vec![1.2, 0.8],
+            vec![-0.7, 0.1],
+            vec![0.3, 1.9],
+            vec![-1.5, -0.9],
+        ]
+    }
+
+    #[test]
+    fn fresh_slot_scores_bit_identically_to_the_prior_posterior() {
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let slot = bank.alloc();
+        let legacy = NiwPosterior::from_prior(&p);
+        for x in pts() {
+            assert_eq!(
+                bank.predictive_one(slot, &x).to_bits(),
+                legacy.predictive_logpdf(&x).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn score_prior_is_bit_identical_to_the_legacy_prior_predictive() {
+        let p = params2();
+        let bank = DishBank::new(&p);
+        let legacy = NiwPosterior::from_prior(&p);
+        let mut scratch = vec![0.0; 2];
+        for x in pts() {
+            assert_eq!(
+                bank.score_prior(&x, &mut scratch).to_bits(),
+                legacy.predictive_logpdf(&x).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn add_remove_tracks_legacy_bit_for_bit() {
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let slot = bank.alloc();
+        let mut legacy = NiwPosterior::from_prior(&p);
+        let data = pts();
+        for x in &data {
+            bank.add_obs(slot, x);
+            legacy.add(x);
+        }
+        let probe = [0.4, -0.2];
+        assert_eq!(
+            bank.predictive_one(slot, &probe).to_bits(),
+            legacy.predictive_logpdf(&probe).to_bits()
+        );
+        assert_eq!(bank.log_marginal(slot, &p).to_bits(), legacy.log_marginal(&p).to_bits());
+        for (a, b) in bank.mean(slot).iter().zip(legacy.mean()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for x in data.iter().rev() {
+            bank.remove_obs(slot, x);
+            legacy.remove(x);
+        }
+        assert_eq!(bank.count(slot), 0);
+        assert_eq!(
+            bank.predictive_one(slot, &probe).to_bits(),
+            legacy.predictive_logpdf(&probe).to_bits()
+        );
+    }
+
+    #[test]
+    fn block_predictive_matches_the_chain_rule_closely_and_preserves_state() {
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let slot = bank.alloc();
+        let mut legacy = NiwPosterior::from_prior(&p);
+        bank.add_obs(slot, &[3.0, 3.0]);
+        legacy.add(&[3.0, 3.0]);
+        let data = pts();
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        let banked = bank.block_predictive(slot, &refs);
+        // The chain rule runs on a clone: its unwind is not bit-exact, while
+        // the ratio kernel leaves the bank untouched by construction.
+        let chain = legacy.clone().block_predictive_logpdf(&refs);
+        // Same quantity, different factorization of the arithmetic: the
+        // telescoped marginal ratio agrees with the chain rule to rounding.
+        assert!(
+            (banked - chain).abs() <= 1e-9 * chain.abs().max(1.0),
+            "ratio {banked} vs chain {chain}"
+        );
+        assert_eq!(bank.count(slot), 1);
+        let probe = [0.1, 0.9];
+        assert_eq!(
+            bank.predictive_one(slot, &probe).to_bits(),
+            legacy.predictive_logpdf(&probe).to_bits()
+        );
+    }
+
+    #[test]
+    fn block_predictive_is_deterministic_and_shared_stats_match_the_wrapper() {
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let slot = bank.alloc();
+        bank.add_obs(slot, &[0.5, -0.5]);
+        let data = pts();
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        let a = bank.block_predictive(slot, &refs);
+        let b = bank.block_predictive(slot, &refs);
+        assert_eq!(a.to_bits(), b.to_bits(), "block kernel must be deterministic");
+        let mut stats = BlockStats::new(2);
+        bank.compute_block_stats(&refs, &mut stats);
+        let c = bank.block_predictive_stats(slot, &stats);
+        assert_eq!(a.to_bits(), c.to_bits(), "wrapper and shared-stats paths must agree");
+    }
+
+    #[test]
+    fn block_predictive_prior_matches_a_fresh_slot_bit_for_bit() {
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let data = pts();
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        let mut stats = BlockStats::new(2);
+        bank.compute_block_stats(&refs, &mut stats);
+        let prior = bank.block_predictive_prior(&stats);
+        let slot = bank.alloc();
+        let fresh = bank.block_predictive_stats(slot, &stats);
+        assert_eq!(prior.to_bits(), fresh.to_bits());
+    }
+
+    #[test]
+    fn attach_block_matches_sequential_adds_closely() {
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let fast = bank.alloc();
+        let slow = bank.alloc();
+        bank.add_obs(fast, &[0.4, -0.6]);
+        bank.add_obs(slow, &[0.4, -0.6]);
+        let data = pts();
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        let mut stats = BlockStats::new(2);
+        bank.compute_block_stats(&refs, &mut stats);
+        bank.attach_block(fast, &stats, &refs);
+        for x in &data {
+            bank.add_obs(slow, x);
+        }
+        assert_eq!(bank.count(fast), bank.count(slow));
+        let probe = [0.7, -0.1];
+        let (a, b) = (bank.predictive_one(fast, &probe), bank.predictive_one(slow, &probe));
+        assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "rank-m {a} vs sequential {b}");
+        for (x, y) in bank.mean(fast).iter().zip(bank.mean(slow)) {
+            assert!((x - y).abs() <= 1e-12, "means diverged: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn detach_block_inverts_attach_block_closely() {
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let slot = bank.alloc();
+        bank.add_obs(slot, &[1.0, -1.0]);
+        bank.add_obs(slot, &[-0.5, 0.25]);
+        let before = bank.predictive_one(slot, &[0.2, 0.2]);
+        let data = pts();
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        let mut stats = BlockStats::new(2);
+        bank.compute_block_stats(&refs, &mut stats);
+        bank.attach_block(slot, &stats, &refs);
+        bank.detach_block(slot, &stats, &refs);
+        assert_eq!(bank.count(slot), 2);
+        let after = bank.predictive_one(slot, &[0.2, 0.2]);
+        assert!(
+            (before - after).abs() <= 1e-9 * before.abs().max(1.0),
+            "attach/detach round trip drifted: {before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn detach_block_falls_back_per_point_when_downdate_leaves_spd() {
+        // Detaching a block that was never attached can push Ψ outside SPD;
+        // the fallback must land on the same state as per-point removal
+        // (bit-for-bit, since it *is* the per-point path).
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let fast = bank.alloc();
+        let slow = bank.alloc();
+        for s in [fast, slow] {
+            bank.add_obs(s, &[0.1, 0.1]);
+            bank.add_obs(s, &[-0.1, 0.2]);
+        }
+        let foreign = [[35.0_f64, -30.0], [28.0, 33.0]];
+        let refs: Vec<&[f64]> = foreign.iter().map(|x| x.as_slice()).collect();
+        let mut stats = BlockStats::new(2);
+        bank.compute_block_stats(&refs, &mut stats);
+        bank.detach_block(fast, &stats, &refs);
+        for x in &refs {
+            bank.remove_obs(slow, x);
+        }
+        let _ = crate::divergence::take();
+        let probe = [0.3, -0.3];
+        assert_eq!(
+            bank.predictive_one(fast, &probe).to_bits(),
+            bank.predictive_one(slow, &probe).to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_block_scores_zero() {
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let slot = bank.alloc();
+        assert_eq!(bank.block_predictive(slot, &[]), 0.0);
+        let stats = BlockStats::new(2);
+        assert_eq!(bank.block_predictive_prior(&stats), 0.0);
+    }
+
+    #[test]
+    fn score_all_orders_outputs_by_slot_argument() {
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let a = bank.alloc();
+        let b = bank.alloc();
+        bank.add_obs(b, &[2.0, 2.0]);
+        let x = [0.5, 0.5];
+        let mut scratch = vec![0.0; 4];
+        let mut out = Vec::new();
+        bank.score_all(&[a, b], &x, &mut scratch, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].to_bits(), bank.predictive_one(a, &x).to_bits());
+        assert_eq!(out[1].to_bits(), bank.predictive_one(b, &x).to_bits());
+    }
+
+    #[test]
+    fn free_list_reuses_slots_and_reset_is_complete() {
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let a = bank.alloc();
+        for x in pts() {
+            bank.add_obs(a, &x);
+        }
+        let x = [0.3, 0.3];
+        let fresh_score = {
+            let b = bank.alloc();
+            let s = bank.predictive_one(b, &x);
+            bank.release(b);
+            s
+        };
+        bank.release(a);
+        let reused = bank.alloc();
+        assert_eq!(reused, a, "free-list should hand back the last released slot");
+        assert_eq!(bank.count(reused), 0);
+        assert_eq!(
+            bank.predictive_one(reused, &x).to_bits(),
+            fresh_score.to_bits(),
+            "a reused slot must be indistinguishable from a fresh prior slot"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no observations to remove")]
+    fn remove_from_empty_slot_panics() {
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let slot = bank.alloc();
+        bank.remove_obs(slot, &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not live")]
+    fn double_release_panics() {
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let slot = bank.alloc();
+        bank.release(slot);
+        bank.release(slot);
+    }
+
+    #[test]
+    fn downdate_rescue_path_matches_legacy_bit_for_bit() {
+        // Removing a point that was never added drives the factor outside
+        // SPD and exercises the dense rescue; legacy and bank must agree on
+        // the repaired state (same reconstruct/syr/jitter sequence).
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let slot = bank.alloc();
+        let mut legacy = NiwPosterior::from_prior(&p);
+        bank.add_obs(slot, &[0.1, 0.1]);
+        legacy.add(&[0.1, 0.1]);
+        let foreign = [40.0, -35.0];
+        bank.remove_obs(slot, &foreign);
+        legacy.remove(&foreign);
+        let probe = [0.2, -0.2];
+        assert_eq!(
+            bank.predictive_one(slot, &probe).to_bits(),
+            legacy.predictive_logpdf(&probe).to_bits()
+        );
+    }
+
+    #[test]
+    fn block_kernel_stays_usable_after_a_downdate_rescue() {
+        // After the rescue re-derives Ψ from the repaired factor, the ratio
+        // kernel must keep agreeing with the chain rule on the same state.
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let slot = bank.alloc();
+        let mut legacy = NiwPosterior::from_prior(&p);
+        for x in pts() {
+            bank.add_obs(slot, &x);
+            legacy.add(&x);
+        }
+        let foreign = [40.0, -35.0];
+        bank.remove_obs(slot, &foreign);
+        legacy.remove(&foreign);
+        let _ = crate::divergence::take();
+        let block = [[0.2_f64, 0.4], [-0.3, 0.6]];
+        let refs: Vec<&[f64]> = block.iter().map(|p| p.as_slice()).collect();
+        let banked = bank.block_predictive(slot, &refs);
+        let chain = legacy.block_predictive_logpdf(&refs);
+        assert!(
+            (banked - chain).abs() <= 1e-6 * chain.abs().max(1.0),
+            "post-rescue ratio {banked} vs chain {chain}"
+        );
+    }
+}

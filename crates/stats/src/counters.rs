@@ -20,10 +20,19 @@
 
 use std::sync::OnceLock;
 
-use crate::metrics::{global, Counter};
+use crate::metrics::{global, Counter, Histogram};
 
 /// Registry name of the posterior-predictive evaluation counter.
 pub const PREDICTIVE_LOGPDF_CALLS: &str = "stats.predictive_logpdf_calls";
+/// Registry name of the one-observation-vs-all-dishes kernel counter
+/// (collective-decision scoring passes over the dish bank).
+pub const PREDICTIVE_ONE_VS_ALL: &str = "stats.predictive_one_vs_all";
+/// Registry name of the batched-observations-vs-one-dish kernel counter
+/// (block predictives in the table dish-resampling step).
+pub const PREDICTIVE_BATCH_VS_ONE: &str = "stats.predictive_batch_vs_one";
+/// Registry name of the predictive-kernel latency histogram (nanoseconds
+/// per fused kernel invocation, both kernel shapes pooled).
+pub const PREDICTIVE_NS: &str = "stats.predictive_ns";
 /// Registry name of the serve-retry counter.
 pub const SERVE_RETRIES: &str = "serving.retries";
 /// Registry name of the degraded-batch counter.
@@ -36,6 +45,21 @@ fn handle(cell: &'static OnceLock<Counter>, name: &str) -> &'static Counter {
 fn predictive_handle() -> &'static Counter {
     static CELL: OnceLock<Counter> = OnceLock::new();
     handle(&CELL, PREDICTIVE_LOGPDF_CALLS)
+}
+
+fn one_vs_all_handle() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    handle(&CELL, PREDICTIVE_ONE_VS_ALL)
+}
+
+fn batch_vs_one_handle() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    handle(&CELL, PREDICTIVE_BATCH_VS_ONE)
+}
+
+fn predictive_ns_handle() -> &'static Histogram {
+    static CELL: OnceLock<Histogram> = OnceLock::new();
+    CELL.get_or_init(|| global().histogram(PREDICTIVE_NS))
 }
 
 fn retries_handle() -> &'static Counter {
@@ -56,6 +80,37 @@ pub(crate) fn record_predictive_logpdf() {
 /// Total posterior-predictive evaluations since process start.
 pub fn predictive_logpdf_calls() -> u64 {
     predictive_handle().get()
+}
+
+/// Record one one-vs-all kernel invocation that scored `dishes` dishes:
+/// bumps the kernel counter, folds the per-dish evaluations into the legacy
+/// predictive-call total (so the machine-independent unit of work stays
+/// comparable across layouts), and files the kernel wall time.
+#[inline]
+pub(crate) fn record_predictive_one_vs_all(dishes: u64, elapsed_ns: u64) {
+    one_vs_all_handle().inc();
+    predictive_handle().add(dishes);
+    predictive_ns_handle().record(elapsed_ns);
+}
+
+/// Record one batch-vs-one kernel invocation that evaluated `points`
+/// observations against a single dish (see
+/// [`record_predictive_one_vs_all`] for the accounting contract).
+#[inline]
+pub(crate) fn record_predictive_batch_vs_one(points: u64, elapsed_ns: u64) {
+    batch_vs_one_handle().inc();
+    predictive_handle().add(points);
+    predictive_ns_handle().record(elapsed_ns);
+}
+
+/// Total one-vs-all kernel invocations since process start.
+pub fn predictive_one_vs_all_calls() -> u64 {
+    one_vs_all_handle().get()
+}
+
+/// Total batch-vs-one kernel invocations since process start.
+pub fn predictive_batch_vs_one_calls() -> u64 {
+    batch_vs_one_handle().get()
 }
 
 /// Record one serve-attempt retry (an attempt launched after a divergent
@@ -100,5 +155,18 @@ mod tests {
         record_serve_retry();
         let after = global().snapshot().counter(SERVE_RETRIES);
         assert!(after > before);
+    }
+
+    #[test]
+    fn kernel_records_split_by_shape_and_feed_the_legacy_total() {
+        let before = global().snapshot();
+        record_predictive_one_vs_all(7, 1_500);
+        record_predictive_batch_vs_one(3, 900);
+        let delta = global().snapshot().delta_since(&before);
+        assert!(delta.counter(PREDICTIVE_ONE_VS_ALL) >= 1);
+        assert!(delta.counter(PREDICTIVE_BATCH_VS_ONE) >= 1);
+        // Per-evaluation units flow into the legacy machine-independent total.
+        assert!(delta.counter(PREDICTIVE_LOGPDF_CALLS) >= 10);
+        assert!(delta.histogram(PREDICTIVE_NS).count >= 2);
     }
 }

@@ -9,6 +9,10 @@
 //!   source, since the workspace deliberately avoids `rand_distr`),
 //! * [`mvn`] — multivariate normal and multivariate Student-t log-densities
 //!   plus Cholesky-based MVN sampling,
+//! * [`bank`] — the struct-of-arrays [`DishBank`] of NIW posteriors with
+//!   precomputed predictive constants and the two fused predictive kernels
+//!   (one-vs-all collective scoring, batch-vs-one block predictives) that
+//!   form the sampler's vectorized hot path,
 //! * [`niw`] — the Normal–Inverse-Wishart conjugate family with O(d²)
 //!   incremental posterior updates; this is the engine room of the collapsed
 //!   Gibbs sampler (the paper's Gaussian–Wishart base measure H, Eq. 9, in
@@ -32,6 +36,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod bank;
 pub mod counters;
 pub mod descriptive;
 pub mod diagnostics;
@@ -45,6 +50,7 @@ pub mod sampling;
 pub mod special;
 pub mod weibull;
 
+pub use bank::{BlockStats, DishBank, Slot};
 pub use niw::{factor_spd_with_jitter, NiwParams, NiwPosterior};
 pub use weibull::{Weibull, WeibullFit};
 

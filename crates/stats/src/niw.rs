@@ -87,6 +87,18 @@ impl NiwParams {
     pub fn psi0(&self) -> &Matrix {
         &self.psi0
     }
+
+    /// Cached Cholesky factor of Ψ₀ (the dish bank seeds new slots from it).
+    #[inline]
+    pub(crate) fn psi0_chol(&self) -> &Cholesky {
+        &self.psi0_chol
+    }
+
+    /// Cached log |Ψ₀| (used by the bank's closed-form marginal).
+    #[inline]
+    pub(crate) fn log_det_psi0(&self) -> f64 {
+        self.log_det_psi0
+    }
 }
 
 /// NIW posterior state after absorbing `n ≥ 0` observations.

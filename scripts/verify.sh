@@ -39,6 +39,24 @@ cargo clippy --workspace --all-targets --features fault-inject -- -D warnings
 cargo test -q --features fault-inject --test trace_determinism
 cargo test -q -p osr-stats --features fault-inject --test observability
 
+# Kernel parity: the struct-of-arrays dish bank must replay the legacy
+# per-dish arithmetic (bit-exact one-vs-all, tolerance-checked block ratio)
+# under both feature sets — the property suite that guards the SoA layout.
+cargo test -q -p osr-stats --test bank_equivalence
+cargo test -q -p osr-stats --features fault-inject --test bank_equivalence
+
+# Bench-schema staleness: the committed serving benchmark report must carry
+# the kernel-invocation counters the SoA refactor added. A missing field
+# means BENCH_serving.json predates the current schema — regenerate it with
+# `cargo bench -p osr-bench --bench serving`.
+for field in one_vs_all_kernels_per_batch batch_vs_one_kernels_per_batch; do
+    if ! grep -q "\"$field\"" BENCH_serving.json; then
+        echo "verify: FAIL — BENCH_serving.json lacks '$field'; the report is stale," >&2
+        echo "        regenerate with: cargo bench -p osr-bench --bench serving" >&2
+        exit 1
+    fi
+done
+
 # Two identical seeded serving runs must write byte-identical trace streams.
 ./target/release/trace_dump --seed 2026 --out results/trace_verify_a.jsonl
 ./target/release/trace_dump --seed 2026 --out results/trace_verify_b.jsonl
