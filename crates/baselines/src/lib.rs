@@ -27,11 +27,13 @@
 mod one_vs_set;
 mod osnn;
 mod pisvm;
+pub mod serve;
 mod wsvm;
 
 pub use one_vs_set::{OneVsSet, OneVsSetParams};
 pub use osnn::{Osnn, OsnnParams};
 pub use pisvm::{PiSvm, PiSvmParams};
+pub use serve::{BaselineSpec, ServedBaseline};
 pub use wsvm::{WOsvm, WOsvmParams, WSvm, WSvmParams};
 
 pub use osr_dataset::protocol::Prediction;

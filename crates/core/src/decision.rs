@@ -100,6 +100,10 @@ pub struct ClassifyOutcome {
     /// server's trace stream ([`crate::batch_trace_id`]`(seed, batch)`);
     /// `"adhoc"` for the single-shot `classify`/`classify_detailed` path.
     pub trace_id: String,
+    /// Stable tag of the method that produced this outcome
+    /// ([`crate::CDOSR_METHOD`] for CD-OSR, `"wsvm"`/`"osnn"`/… for the
+    /// baselines served through the same stack).
+    pub method: String,
 }
 
 /// Association table from dish id to the known classes using it.

@@ -34,6 +34,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod admission;
+pub mod collective;
 mod decision;
 pub mod discovery;
 pub mod inductive;
@@ -42,6 +43,9 @@ mod model;
 pub mod observability;
 mod serving;
 
+pub use collective::{
+    AttemptError, CollectiveModel, CollectiveSession, ModelCapabilities, CDOSR_METHOD,
+};
 pub use decision::{ClassifyOutcome, DegradeReason, Prediction, ServedVia};
 pub use discovery::SubclassReport;
 pub use inductive::FrozenModel;
@@ -50,7 +54,7 @@ pub use model::{HdpOsr, HdpOsrConfig};
 pub use observability::{
     batch_trace_id, BatchTrace, FitReport, JsonlSink, RingSink, TraceRecord, TraceSink,
 };
-pub use osr_hdp::{PosteriorSnapshot, SweepTrace};
+pub use osr_hdp::{DishId, PosteriorSnapshot, SweepTrace};
 pub use osr_stats::diagnostics::ChainDiagnostics;
 pub use serving::{derive_batch_seed, BatchServer, RetryPolicy, ServePolicy, ServingMode};
 

@@ -22,11 +22,12 @@ use std::io::Write;
 use std::path::Path;
 
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use serde::{field, DeError, Deserialize, Serialize, Value};
 
 use osr_hdp::SweepTrace;
 use osr_stats::diagnostics::ChainDiagnostics;
 
+use crate::collective::CDOSR_METHOD;
 use crate::decision::ServedVia;
 
 /// The training burn-in's trace and convergence diagnostics, built by
@@ -52,13 +53,23 @@ impl FitReport {
 }
 
 /// Structured record of one batch served by a [`crate::BatchServer`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Hand-implements `Serialize`/`Deserialize`: the `method` field is omitted
+/// for CD-OSR ([`CDOSR_METHOD`]) so the CD-OSR trace stream stays
+/// byte-identical to the pre-trait goldens, while baseline methods served
+/// through the same stack get explicitly method-tagged records. Absent on
+/// the wire means CD-OSR on the way back in.
+#[derive(Debug, Clone)]
 pub struct BatchTrace {
     /// Reproducible identifier, [`batch_trace_id`]`(seed, batch)` — also
     /// stamped on the matching [`crate::ClassifyOutcome::trace_id`].
     pub trace_id: String,
     /// Index of the batch within the `classify_batches` call.
     pub batch: usize,
+    /// Stable tag of the method that served the batch
+    /// ([`crate::ClassifyOutcome::method`]). Serialized only when it is not
+    /// [`CDOSR_METHOD`].
+    pub method: String,
     /// Serve attempts consumed, including the successful/final one.
     pub attempts: u32,
     /// How the outcome was produced (warm, cold, or degraded).
@@ -70,6 +81,45 @@ pub struct BatchTrace {
     /// Per-sweep traces of the attempt that produced the answer (empty for
     /// degraded outcomes, which run frozen inference with no sweeps).
     pub sweeps: Vec<SweepTrace>,
+}
+
+impl Serialize for BatchTrace {
+    fn to_value(&self) -> Value {
+        // `method` omitted for CD-OSR: see the struct docs.
+        let mut entries = vec![
+            ("trace_id".to_string(), self.trace_id.to_value()),
+            ("batch".to_string(), self.batch.to_value()),
+        ];
+        if self.method != CDOSR_METHOD {
+            entries.push(("method".to_string(), self.method.to_value()));
+        }
+        entries.push(("attempts".to_string(), self.attempts.to_value()));
+        entries.push(("served_via".to_string(), self.served_via.to_value()));
+        entries.push(("inherited_poison".to_string(), self.inherited_poison.to_value()));
+        entries.push(("sweeps".to_string(), self.sweeps.to_value()));
+        Value::Obj(entries)
+    }
+}
+
+impl Deserialize for BatchTrace {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        match v {
+            Value::Obj(entries) => Ok(Self {
+                trace_id: field(entries, "trace_id")?,
+                batch: field(entries, "batch")?,
+                method: match entries.iter().find(|(k, _)| k == "method") {
+                    Some((_, v)) => String::from_value(v)
+                        .map_err(|e| DeError::msg(format!("field `method`: {e}")))?,
+                    None => CDOSR_METHOD.to_string(),
+                },
+                attempts: field(entries, "attempts")?,
+                served_via: field(entries, "served_via")?,
+                inherited_poison: field(entries, "inherited_poison")?,
+                sweeps: field(entries, "sweeps")?,
+            }),
+            other => Err(DeError::expected("struct BatchTrace", other)),
+        }
+    }
 }
 
 /// One line of the structured trace stream.
@@ -224,6 +274,7 @@ mod tests {
         let batch = TraceRecord::Batch(BatchTrace {
             trace_id: batch_trace_id(11, 0),
             batch: 0,
+            method: CDOSR_METHOD.to_string(),
             attempts: 2,
             served_via: ServedVia::Warm,
             inherited_poison: false,
@@ -232,10 +283,12 @@ mod tests {
         let line = batch.to_jsonl();
         assert!(!line.contains('\n'), "one record = one line");
         assert!(!line.contains("wall_ns"), "wall time must stay out of the stream");
+        assert!(!line.contains("method"), "CD-OSR records must omit the method tag");
         let back = TraceRecord::from_jsonl(&line).unwrap();
         match back {
             TraceRecord::Batch(b) => {
                 assert_eq!(b.trace_id, batch_trace_id(11, 0));
+                assert_eq!(b.method, CDOSR_METHOD, "absent method defaults to CD-OSR");
                 assert_eq!(b.attempts, 2);
                 assert_eq!(b.served_via, ServedVia::Warm);
                 assert_eq!(b.sweeps.len(), 1);
@@ -251,6 +304,25 @@ mod tests {
     }
 
     #[test]
+    fn baseline_records_carry_an_explicit_method_tag() {
+        let batch = TraceRecord::Batch(BatchTrace {
+            trace_id: batch_trace_id(4, 1),
+            batch: 1,
+            method: "osnn".to_string(),
+            attempts: 1,
+            served_via: ServedVia::Warm,
+            inherited_poison: false,
+            sweeps: Vec::new(),
+        });
+        let line = batch.to_jsonl();
+        assert!(line.contains("\"method\":\"osnn\""), "line was: {line}");
+        match TraceRecord::from_jsonl(&line).unwrap() {
+            TraceRecord::Batch(b) => assert_eq!(b.method, "osnn"),
+            other => panic!("round-trip changed the variant: {other:?}"),
+        }
+    }
+
+    #[test]
     fn ring_sink_keeps_the_most_recent_records() {
         let ring = RingSink::new(2);
         assert!(ring.is_empty());
@@ -258,6 +330,7 @@ mod tests {
             ring.record(&TraceRecord::Batch(BatchTrace {
                 trace_id: batch_trace_id(1, i),
                 batch: i,
+                method: CDOSR_METHOD.to_string(),
                 attempts: 1,
                 served_via: ServedVia::Warm,
                 inherited_poison: false,

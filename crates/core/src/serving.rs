@@ -57,9 +57,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use osr_dataset::protocol::TrainSet;
 use osr_hdp::{DishId, GroupSummary, Hdp, PosteriorSnapshot, SweepTrace};
 
 use crate::admission;
+use crate::collective::{
+    AttemptError, CollectiveModel, CollectiveSession, ModelCapabilities, CDOSR_METHOD,
+};
 use crate::decision::{Associations, ClassifyOutcome, DegradeReason, Prediction, ServedVia};
 use crate::discovery::{estimate_unknown_classes, GroupSubclasses, SubclassReport};
 use crate::model::HdpOsr;
@@ -245,18 +249,6 @@ fn build_report(
     }
 }
 
-/// Why one serve attempt did not return a full outcome.
-enum AttemptError {
-    /// The attempt cannot succeed no matter how often it is retried.
-    Fatal(OsrError),
-    /// The watchdog declared a sweep divergent; retry may succeed.
-    Diverged(String),
-    /// The batch's wall-clock deadline passed mid-attempt.
-    DeadlineExceeded,
-    /// The batch's total sweep budget ran out mid-attempt.
-    BudgetExhausted,
-}
-
 /// Per-batch resource meter shared across that batch's attempts.
 struct ServeCtl {
     deadline: Option<Instant>,
@@ -319,12 +311,17 @@ pub(crate) fn serve_batch<R: Rng + ?Sized>(
     admission::validate_batch(model.dim(), test)?;
     osr_stats::divergence::clear();
     let mut ctl = ServeCtl::unbounded();
-    let attempt = match model.warm() {
-        Some(warm) => serve_warm_attempt(model, warm, test, rng, &mut ctl, None),
-        None => serve_cold_attempt(model, test, rng, &mut ctl, None),
-    };
+    let attempt = (|| {
+        let mut attempt = HdpAttempt::start(model, test)?;
+        for _ in 0..attempt.planned_sweeps() {
+            sweep_fault_delay();
+            ctl.admit_sweep()?;
+            attempt.sweep_with(rng)?;
+        }
+        Ok(attempt.finish_outcome())
+    })();
     attempt
-        .map(|mut outcome| {
+        .map(|mut outcome: ClassifyOutcome| {
             outcome.trace_id = "adhoc".to_string();
             outcome
         })
@@ -341,128 +338,249 @@ pub(crate) fn serve_batch<R: Rng + ?Sized>(
 /// batch for `decision_sweeps` watchdogged sweeps, and vote against the
 /// precomputed association table (training seating cannot move, so the
 /// table stays valid across sweeps).
-fn serve_warm_attempt<R: Rng + ?Sized>(
-    model: &HdpOsr,
-    warm: &WarmState,
-    test: &[Vec<f64>],
-    rng: &mut R,
-    ctl: &mut ServeCtl,
-    mut sweeps: Option<&mut Vec<SweepTrace>>,
-) -> std::result::Result<ClassifyOutcome, AttemptError> {
-    let config = model.config();
-    let mut session = warm
-        .snapshot
-        .session(test.to_vec())
-        .map_err(|e| AttemptError::Fatal(e.into()))?;
+pub(crate) struct WarmAttempt<'m> {
+    model: &'m HdpOsr,
+    warm: &'m WarmState,
+    session: osr_hdp::BatchSession,
+    votes: Vec<BTreeMap<Prediction, usize>>,
+}
 
-    let mut votes: Vec<BTreeMap<Prediction, usize>> = vec![BTreeMap::new(); test.len()];
-    for _ in 0..config.decision_sweeps {
-        sweep_fault_delay();
-        ctl.admit_sweep()?;
-        let trace =
-            session.sweep_checked_traced(rng).map_err(|d| AttemptError::Diverged(d.to_string()))?;
-        if let Some(out) = sweeps.as_deref_mut() {
-            out.push(trace);
-        }
-        for (i, vote) in votes.iter_mut().enumerate() {
-            let pred = warm.assoc.decide(session.dish_of(i));
+impl<'m> WarmAttempt<'m> {
+    fn start(
+        model: &'m HdpOsr,
+        warm: &'m WarmState,
+        test: &[Vec<f64>],
+    ) -> std::result::Result<Self, AttemptError> {
+        let session = warm
+            .snapshot
+            .session(test.to_vec())
+            .map_err(|e| AttemptError::Fatal(e.into()))?;
+        Ok(Self { model, warm, session, votes: vec![BTreeMap::new(); test.len()] })
+    }
+
+    fn sweep_with<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> std::result::Result<SweepTrace, AttemptError> {
+        let trace = self
+            .session
+            .sweep_checked_traced(rng)
+            .map_err(|d| AttemptError::Diverged(d.to_string()))?;
+        for (i, vote) in self.votes.iter_mut().enumerate() {
+            let pred = self.warm.assoc.decide(self.session.dish_of(i));
             *vote.entry(pred).or_insert(0) += 1;
         }
+        Ok(trace)
     }
-    let predictions = majority(&votes);
 
-    let summary = session.group_summary(session.batch_group());
-    let report = build_report(
-        config.varrho,
-        model.n_classes(),
-        &warm.assoc,
-        warm.known_reports.clone(),
-        &summary,
-    );
-    let test_dishes = (0..test.len()).map(|i| session.dish_of(i)).collect();
-
-    Ok(ClassifyOutcome {
-        predictions,
-        report,
-        test_dishes,
-        gamma: session.gamma(),
-        alpha: session.alpha(),
-        log_likelihood: session.joint_log_likelihood(),
-        served_via: ServedVia::Warm,
-        attempts: 1,
-        trace_id: String::new(),
-    })
+    fn finish_outcome(&self) -> ClassifyOutcome {
+        let config = self.model.config();
+        let predictions = majority(&self.votes);
+        let summary = self.session.group_summary(self.session.batch_group());
+        let report = build_report(
+            config.varrho,
+            self.model.n_classes(),
+            &self.warm.assoc,
+            self.warm.known_reports.clone(),
+            &summary,
+        );
+        let test_dishes = (0..self.votes.len()).map(|i| self.session.dish_of(i)).collect();
+        ClassifyOutcome {
+            predictions,
+            report,
+            test_dishes,
+            gamma: self.session.gamma(),
+            alpha: self.session.alpha(),
+            log_likelihood: self.session.joint_log_likelihood(),
+            served_via: ServedVia::Warm,
+            attempts: 1,
+            trace_id: String::new(),
+            method: CDOSR_METHOD.to_string(),
+        }
+    }
 }
 
 /// Cold attempt ([`ServingMode::ColdStart`]): the original transductive
 /// schedule — deep-copy the training groups, append the batch, run the full
 /// burn-in sweep by watchdogged sweep (the exact RNG stream of `Hdp::run`),
 /// and vote over `decision_sweeps` posterior states with the association
-/// table recomputed per state (training seating moves here).
-fn serve_cold_attempt<R: Rng + ?Sized>(
-    model: &HdpOsr,
-    test: &[Vec<f64>],
-    rng: &mut R,
-    ctl: &mut ServeCtl,
-    mut sweeps: Option<&mut Vec<SweepTrace>>,
-) -> std::result::Result<ClassifyOutcome, AttemptError> {
-    let config = model.config();
-    let mut groups = model.classes().to_vec();
-    groups.push(test.to_vec());
-    let test_group = groups.len() - 1;
+/// table recomputed per state (training seating moves here). Votes start
+/// with the state after the final burn-in sweep, so the attempt plans
+/// `iterations + decision_sweeps - 1` sweeps in total.
+pub(crate) struct ColdAttempt<'m> {
+    model: &'m HdpOsr,
+    hdp: Hdp,
+    test_group: usize,
+    sweeps_done: usize,
+    votes: Vec<BTreeMap<Prediction, usize>>,
+}
 
-    let mut hdp = Hdp::new(model.params().clone(), config.hdp_config(), groups)
-        .map_err(|e| AttemptError::Fatal(e.into()))?;
-    for _ in 0..config.iterations {
-        sweep_fault_delay();
-        ctl.admit_sweep()?;
-        let trace =
-            hdp.sweep_checked_traced(rng).map_err(|d| AttemptError::Diverged(d.to_string()))?;
-        if let Some(out) = sweeps.as_deref_mut() {
-            out.push(trace);
-        }
+impl<'m> ColdAttempt<'m> {
+    fn start(model: &'m HdpOsr, test: &[Vec<f64>]) -> std::result::Result<Self, AttemptError> {
+        let mut groups = model.classes().to_vec();
+        groups.push(test.to_vec());
+        let test_group = groups.len() - 1;
+        let hdp = Hdp::new(model.params().clone(), model.config().hdp_config(), groups)
+            .map_err(|e| AttemptError::Fatal(e.into()))?;
+        Ok(Self {
+            model,
+            hdp,
+            test_group,
+            sweeps_done: 0,
+            votes: vec![BTreeMap::new(); test.len()],
+        })
     }
 
-    // Collect one decision snapshot per voting sweep; the subclass report
-    // always reflects the final state.
-    let mut votes: Vec<BTreeMap<Prediction, usize>> = vec![BTreeMap::new(); test.len()];
-    for extra in 0..config.decision_sweeps {
-        if extra > 0 {
-            sweep_fault_delay();
-            ctl.admit_sweep()?;
-            let trace = hdp
-                .sweep_checked_traced(rng)
-                .map_err(|d| AttemptError::Diverged(d.to_string()))?;
-            if let Some(out) = sweeps.as_deref_mut() {
-                out.push(trace);
+    fn sweep_with<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> std::result::Result<SweepTrace, AttemptError> {
+        let trace = self
+            .hdp
+            .sweep_checked_traced(rng)
+            .map_err(|d| AttemptError::Diverged(d.to_string()))?;
+        self.sweeps_done += 1;
+        // Collect one decision snapshot per voting sweep (the last burn-in
+        // state plus each extra decision sweep); the subclass report always
+        // reflects the final state.
+        if self.sweeps_done >= self.model.config().iterations {
+            let config = self.model.config();
+            let assoc =
+                associate(config.varrho, self.model.n_classes(), |c| self.hdp.group_summary(c)).0;
+            for (i, vote) in self.votes.iter_mut().enumerate() {
+                let pred = assoc.decide(self.hdp.dish_of(self.test_group, i));
+                *vote.entry(pred).or_insert(0) += 1;
             }
         }
-        let assoc = associate(config.varrho, model.n_classes(), |c| hdp.group_summary(c)).0;
-        for (i, vote) in votes.iter_mut().enumerate() {
-            let pred = assoc.decide(hdp.dish_of(test_group, i));
-            *vote.entry(pred).or_insert(0) += 1;
+        Ok(trace)
+    }
+
+    fn finish_outcome(&self) -> ClassifyOutcome {
+        let config = self.model.config();
+        let predictions = majority(&self.votes);
+        let (assoc, known_reports) =
+            associate(config.varrho, self.model.n_classes(), |c| self.hdp.group_summary(c));
+        let summary = self.hdp.group_summary(self.test_group);
+        let report =
+            build_report(config.varrho, self.model.n_classes(), &assoc, known_reports, &summary);
+        let test_dishes =
+            (0..self.votes.len()).map(|i| self.hdp.dish_of(self.test_group, i)).collect();
+        ClassifyOutcome {
+            predictions,
+            report,
+            test_dishes,
+            gamma: self.hdp.gamma(),
+            alpha: self.hdp.alpha(),
+            log_likelihood: self.hdp.joint_log_likelihood(),
+            served_via: ServedVia::Cold,
+            attempts: 1,
+            trace_id: String::new(),
+            method: CDOSR_METHOD.to_string(),
         }
     }
-    let predictions = majority(&votes);
+}
 
-    let (assoc, known_reports) =
-        associate(config.varrho, model.n_classes(), |c| hdp.group_summary(c));
-    let summary = hdp.group_summary(test_group);
-    let report =
-        build_report(config.varrho, model.n_classes(), &assoc, known_reports, &summary);
-    let test_dishes = (0..test.len()).map(|i| hdp.dish_of(test_group, i)).collect();
+/// One CD-OSR serve attempt, dispatching on how the model was fitted: warm
+/// (snapshot present) or cold (full transductive re-run). The inherent
+/// methods are generic over the RNG for the caller-owned `classify` path;
+/// the [`CollectiveSession`] impl pins `StdRng` for the object-safe server
+/// path — both drive the identical per-sweep sequence.
+pub(crate) enum HdpAttempt<'m> {
+    Warm(WarmAttempt<'m>),
+    Cold(ColdAttempt<'m>),
+}
 
-    Ok(ClassifyOutcome {
-        predictions,
-        report,
-        test_dishes,
-        gamma: hdp.gamma(),
-        alpha: hdp.alpha(),
-        log_likelihood: hdp.joint_log_likelihood(),
-        served_via: ServedVia::Cold,
-        attempts: 1,
-        trace_id: String::new(),
-    })
+impl<'m> HdpAttempt<'m> {
+    pub(crate) fn start(
+        model: &'m HdpOsr,
+        test: &[Vec<f64>],
+    ) -> std::result::Result<Self, AttemptError> {
+        match model.warm() {
+            Some(warm) => WarmAttempt::start(model, warm, test).map(Self::Warm),
+            None => ColdAttempt::start(model, test).map(Self::Cold),
+        }
+    }
+
+    fn planned_sweeps(&self) -> usize {
+        match self {
+            Self::Warm(w) => w.model.config().decision_sweeps,
+            Self::Cold(c) => {
+                let config = c.model.config();
+                config.iterations + config.decision_sweeps - 1
+            }
+        }
+    }
+
+    fn sweep_with<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+    ) -> std::result::Result<SweepTrace, AttemptError> {
+        match self {
+            Self::Warm(w) => w.sweep_with(rng),
+            Self::Cold(c) => c.sweep_with(rng),
+        }
+    }
+
+    fn finish_outcome(&self) -> ClassifyOutcome {
+        match self {
+            Self::Warm(w) => w.finish_outcome(),
+            Self::Cold(c) => c.finish_outcome(),
+        }
+    }
+}
+
+impl CollectiveSession for HdpAttempt<'_> {
+    fn sweeps_planned(&self) -> usize {
+        self.planned_sweeps()
+    }
+
+    fn sweep(&mut self, rng: &mut StdRng) -> std::result::Result<SweepTrace, AttemptError> {
+        self.sweep_with(rng)
+    }
+
+    fn finish(&mut self) -> std::result::Result<ClassifyOutcome, AttemptError> {
+        Ok(self.finish_outcome())
+    }
+}
+
+impl CollectiveModel for HdpOsr {
+    fn method(&self) -> &'static str {
+        CDOSR_METHOD
+    }
+
+    fn dim(&self) -> usize {
+        self.dim()
+    }
+
+    fn capabilities(&self) -> ModelCapabilities {
+        ModelCapabilities {
+            reseedable: true,
+            divergence_watchdog: true,
+            frozen_fallback: self.warm().is_some(),
+        }
+    }
+
+    fn fit(&mut self, train: &TrainSet) -> Result<()> {
+        let config = *self.config();
+        *self = HdpOsr::fit(&config, train)?;
+        Ok(())
+    }
+
+    fn warm_session<'s>(
+        &'s self,
+        batch: &[Vec<f64>],
+    ) -> std::result::Result<Box<dyn CollectiveSession + 's>, AttemptError> {
+        Ok(Box::new(HdpAttempt::start(self, batch)?))
+    }
+
+    fn classify_frozen(
+        &self,
+        batch: &[Vec<f64>],
+        reason: DegradeReason,
+        attempts: u32,
+    ) -> Option<ClassifyOutcome> {
+        self.warm().map(|warm| serve_degraded(self, warm, batch, reason, attempts))
+    }
 }
 
 /// Degraded frozen inference: answer the batch from the checkpoint alone —
@@ -510,7 +628,6 @@ fn serve_degraded(
         &summary,
     );
 
-    osr_stats::counters::record_degraded_batch();
     ClassifyOutcome {
         predictions,
         report,
@@ -521,6 +638,7 @@ fn serve_degraded(
         served_via: ServedVia::Degraded { reason },
         attempts,
         trace_id: String::new(),
+        method: CDOSR_METHOD.to_string(),
     }
 }
 
@@ -557,6 +675,12 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Serve many independent batches concurrently over scoped worker threads.
 ///
+/// The server is method-agnostic: it holds a [`&dyn CollectiveModel`] and
+/// drives CD-OSR and the per-instance baselines (via `osr-baselines`' serve
+/// adapter) through the identical admission → watchdogged-attempt → retry →
+/// degrade pipeline, keying its state machine off
+/// [`ModelCapabilities`] instead of model internals.
+///
 /// Each batch gets its own RNG seeded by [`derive_batch_seed`], so the
 /// output is a pure function of `(model, batches, seed, policy)` —
 /// independent of the worker count and of thread scheduling. Workers pull
@@ -568,7 +692,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// `Err`/degraded outcome while every sibling batch completes bit-identical
 /// to an undisturbed run.
 pub struct BatchServer<'a> {
-    model: &'a HdpOsr,
+    model: &'a dyn CollectiveModel,
     workers: usize,
     policy: ServePolicy,
     sink: Option<Arc<dyn TraceSink>>,
@@ -577,13 +701,13 @@ pub struct BatchServer<'a> {
 impl<'a> BatchServer<'a> {
     /// A server over `model` with one worker per available CPU and the
     /// default [`ServePolicy`].
-    pub fn new(model: &'a HdpOsr) -> Self {
+    pub fn new(model: &'a dyn CollectiveModel) -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         Self { model, workers, policy: ServePolicy::default(), sink: None }
     }
 
     /// A server with an explicit worker count (clamped to ≥ 1).
-    pub fn with_workers(model: &'a HdpOsr, workers: usize) -> Self {
+    pub fn with_workers(model: &'a dyn CollectiveModel, workers: usize) -> Self {
         Self { model, workers: workers.max(1), policy: ServePolicy::default(), sink: None }
     }
 
@@ -725,6 +849,7 @@ impl<'a> BatchServer<'a> {
             return (Err(e), None);
         }
 
+        let caps = self.model.capabilities();
         let mut ctl = ServeCtl::new(&self.policy);
         let max_attempts = self.policy.retry.max_attempts.max(1);
         let mut attempts_used = 0u32;
@@ -737,7 +862,10 @@ impl<'a> BatchServer<'a> {
             if attempt > 0 {
                 osr_stats::counters::record_serve_retry();
             }
-            let attempt_seed = if self.policy.retry.reseed {
+            // Re-deriving the seed only helps when the model actually
+            // samples; a deterministic method replays the same stream so
+            // the retry exercise stays honest about what it can change.
+            let attempt_seed = if self.policy.retry.reseed && caps.reseedable {
                 derive_batch_seed(seed, idx) ^ u64::from(attempt)
             } else {
                 derive_batch_seed(seed, idx)
@@ -756,23 +884,11 @@ impl<'a> BatchServer<'a> {
                 // unrelated earlier batch; attempts start clean.
                 osr_stats::divergence::clear();
                 let mut rng = StdRng::seed_from_u64(attempt_seed);
-                match self.model.warm() {
-                    Some(warm) => serve_warm_attempt(
-                        self.model,
-                        warm,
-                        batch,
-                        &mut rng,
-                        &mut ctl,
-                        Some(&mut sweeps),
-                    ),
-                    None => serve_cold_attempt(
-                        self.model,
-                        batch,
-                        &mut rng,
-                        &mut ctl,
-                        Some(&mut sweeps),
-                    ),
-                }
+                let mut admit = || {
+                    sweep_fault_delay();
+                    ctl.admit_sweep()
+                };
+                self.model.classify_collective(batch, &mut rng, &mut admit, &mut sweeps)
             });
             match result {
                 Ok(mut outcome) => {
@@ -794,9 +910,9 @@ impl<'a> BatchServer<'a> {
         }
 
         let reason = resource_breach.unwrap_or(DegradeReason::RetriesExhausted);
-        if self.policy.degrade {
-            if let Some(warm) = self.model.warm() {
-                let mut outcome = serve_degraded(self.model, warm, batch, reason, attempts_used);
+        if self.policy.degrade && caps.frozen_fallback {
+            if let Some(mut outcome) = self.model.classify_frozen(batch, reason, attempts_used) {
+                osr_stats::counters::record_degraded_batch();
                 // Degraded frozen inference runs no sweeps; the failed
                 // attempts' partial traces are dropped with the attempts.
                 let trace =
@@ -831,6 +947,7 @@ impl<'a> BatchServer<'a> {
         BatchTrace {
             trace_id,
             batch: idx,
+            method: outcome.method.clone(),
             attempts: outcome.attempts,
             served_via: outcome.served_via,
             inherited_poison,

@@ -7,7 +7,9 @@
 //! the exact series plotted in Figs. 4–9. Trials run in parallel via
 //! crossbeam scoped threads; every trial derives its own RNG from
 //! `(seed, trial)`, so results are reproducible regardless of thread
-//! scheduling.
+//! scheduling. Every trial — CD-OSR and baseline alike — classifies
+//! through the production `BatchServer` (see [`MethodSpec`]), so the
+//! replication exercises the same serving stack as production traffic.
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;

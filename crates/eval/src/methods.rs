@@ -1,15 +1,20 @@
 //! Uniform wrapper over HDP-OSR and the five baselines, so the experiment
 //! runner and the tuning phase can treat every method identically:
 //! `spec + training set + test points → predictions`.
+//!
+//! Every method — CD-OSR *and* the per-instance baselines — is trained into
+//! a boxed [`CollectiveModel`] and served through the production
+//! [`BatchServer`], so the Figures 4–9 replication exercises the same
+//! admission/retry/degrade pipeline that production traffic does.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use hdp_osr_core::{HdpOsr, HdpOsrConfig};
+use hdp_osr_core::{BatchServer, CollectiveModel, HdpOsr, HdpOsrConfig};
 use osr_baselines::{
-    OneVsSet, OneVsSetParams, OpenSetClassifier, Osnn, OsnnParams, PiSvm, PiSvmParams, WOsvm,
-    WOsvmParams, WSvm, WSvmParams,
+    BaselineSpec, OneVsSetParams, OsnnParams, PiSvmParams, ServedBaseline, WOsvmParams,
+    WSvmParams,
 };
 use osr_dataset::protocol::{Prediction, TrainSet};
 
@@ -45,14 +50,37 @@ impl MethodSpec {
         }
     }
 
-    /// Train on `train` and classify every point of `test`.
-    ///
-    /// The RNG is only consumed by HDP-OSR (Gibbs sampling); the baselines
-    /// are deterministic given the data. Seeding is the caller's
-    /// responsibility so trials stay reproducible.
+    /// Train this specification into a boxed [`CollectiveModel`] ready for
+    /// a [`BatchServer`].
     ///
     /// # Errors
     /// Wraps any training failure with the method name.
+    pub fn fit_collective(&self, train: &TrainSet) -> Result<Box<dyn CollectiveModel>> {
+        let wrap = |e: String| EvalError::Method(format!("{}: {e}", self.name()));
+        let baseline = |spec: BaselineSpec| -> Result<Box<dyn CollectiveModel>> {
+            Ok(Box::new(ServedBaseline::train(spec, train).map_err(|e| wrap(e.to_string()))?))
+        };
+        match self {
+            Self::HdpOsr(cfg) => {
+                Ok(Box::new(HdpOsr::fit(cfg, train).map_err(|e| wrap(e.to_string()))?))
+            }
+            Self::OneVsSet(p) => baseline(BaselineSpec::OneVsSet(*p)),
+            Self::WOsvm(p) => baseline(BaselineSpec::WOsvm(*p)),
+            Self::WSvm(p) => baseline(BaselineSpec::WSvm(*p)),
+            Self::PiSvm(p) => baseline(BaselineSpec::PiSvm(*p)),
+            Self::Osnn(p) => baseline(BaselineSpec::Osnn(*p)),
+        }
+    }
+
+    /// Train on `train` and classify every point of `test` through the
+    /// production [`BatchServer`] (single worker, one batch).
+    ///
+    /// The RNG seeds the server; only HDP-OSR actually consumes randomness
+    /// (Gibbs sampling) — the baselines are deterministic given the data.
+    /// Seeding is the caller's responsibility so trials stay reproducible.
+    ///
+    /// # Errors
+    /// Wraps any training or serving failure with the method name.
     pub fn train_and_predict<R: Rng + ?Sized>(
         &self,
         train: &TrainSet,
@@ -60,33 +88,18 @@ impl MethodSpec {
         rng: &mut R,
     ) -> Result<Vec<Prediction>> {
         let wrap = |e: String| EvalError::Method(format!("{}: {e}", self.name()));
-        match self {
-            Self::HdpOsr(cfg) => {
-                let model = HdpOsr::fit(cfg, train).map_err(|e| wrap(e.to_string()))?;
-                model.classify(test, rng).map_err(|e| wrap(e.to_string()))
-            }
-            Self::OneVsSet(p) => {
-                let m = OneVsSet::train(train, p).map_err(|e| wrap(e.to_string()))?;
-                Ok(m.predict_batch(test))
-            }
-            Self::WOsvm(p) => {
-                let m = WOsvm::train(train, p).map_err(|e| wrap(e.to_string()))?;
-                Ok(m.predict_batch(test))
-            }
-            Self::WSvm(p) => {
-                let m = WSvm::train(train, p).map_err(|e| wrap(e.to_string()))?;
-                Ok(m.predict_batch(test))
-            }
-            Self::PiSvm(p) => {
-                let m = PiSvm::train(train, p).map_err(|e| wrap(e.to_string()))?;
-                Ok(m.predict_batch(test))
-            }
-            Self::Osnn(p) => {
-                let (points, labels) = train.flattened();
-                let m = Osnn::train(&points, &labels, train.n_classes(), p)
-                    .map_err(|e| wrap(e.to_string()))?;
-                Ok(m.predict_batch(test))
-            }
+        let model = self.fit_collective(train)?;
+        if test.is_empty() {
+            // The server's admission control rejects empty batches; an empty
+            // test set is a valid no-op for an evaluation trial.
+            return Ok(Vec::new());
+        }
+        let server = BatchServer::with_workers(model.as_ref(), 1);
+        let mut results = server.classify_batches(&[test.to_vec()], rng.next_u64());
+        match results.pop() {
+            Some(Ok(outcome)) => Ok(outcome.predictions),
+            Some(Err(e)) => Err(wrap(e.to_string())),
+            None => Err(wrap("server returned no result for the test batch".into())),
         }
     }
 

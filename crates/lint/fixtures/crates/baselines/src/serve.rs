@@ -1,0 +1,14 @@
+//! Fixture: the baseline serve adapter rides the panic-free serving path.
+
+pub fn label(preds: &[usize], idx: usize) -> usize {
+    preds[idx]
+}
+
+pub fn first(preds: &[usize]) -> usize {
+    preds.first().copied().unwrap()
+}
+
+pub fn guarded(preds: &[usize]) -> usize {
+    // osr-lint: allow(panic-path, fixture — adapter invariant documented)
+    preds.first().copied().expect("non-empty")
+}

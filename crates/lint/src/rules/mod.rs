@@ -54,6 +54,8 @@ pub const VENDORED_CRATES: &[&str] = &[
 pub const PANIC_FREE_FILES: &[&str] = &[
     "crates/core/src/serving.rs",
     "crates/core/src/admission.rs",
+    "crates/core/src/collective.rs",
+    "crates/baselines/src/serve.rs",
     "crates/hdp/src/engine.rs",
 ];
 

@@ -3,7 +3,8 @@
 //!
 //! The fixture tree (`crates/lint/fixtures/`) mirrors the workspace layout
 //! so every scoped rule fires at its real path: panic/index violations in
-//! `crates/core/src/serving.rs`, an `allow-file` pragma in
+//! `crates/core/src/serving.rs` and the baseline serve adapter
+//! `crates/baselines/src/serve.rs`, an `allow-file` pragma in
 //! `crates/hdp/src/engine.rs`, hash iteration in the sampler, serialized
 //! wall clock in the trace module, SAFETY-less `unsafe` in a vendored shim,
 //! and an orphaned fault site. A report drift — new rule, changed message,
@@ -26,9 +27,9 @@ fn fixture_tree_json_matches_golden() {
 #[test]
 fn fixture_tree_counts() {
     let report = osr_lint::run(&fixture_root(), false).expect("scan fixture tree");
-    assert_eq!(report.files_scanned, 12);
-    assert_eq!(report.violations.len(), 16);
-    assert_eq!(report.allowed, 5, "two trailing allows + three allow-file suppressions");
+    assert_eq!(report.files_scanned, 13);
+    assert_eq!(report.violations.len(), 18);
+    assert_eq!(report.allowed, 6, "three trailing allows + three allow-file suppressions");
 }
 
 #[test]
@@ -46,5 +47,6 @@ fn human_rendering_carries_spans_and_rules() {
     assert!(human.contains("crates/core/src/serving.rs:4: [panic-path]"));
     assert!(human.contains("crates/stats/src/faults.rs:8: [fault-site-registration]"));
     assert!(human.contains("crates/stats/src/bank.rs:9: [predictive-no-alloc]"));
-    assert!(human.contains("16 violation(s)"));
+    assert!(human.contains("crates/baselines/src/serve.rs:4: [unchecked-index]"));
+    assert!(human.contains("18 violation(s)"));
 }

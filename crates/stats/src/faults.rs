@@ -101,6 +101,9 @@ pub mod sites {
     pub const ENGINE_SWEEP: &str = "engine::sweep";
     /// Inside the NIW rank-1 downdate where the jitter-ladder rescue lives.
     pub const CHOLESKY: &str = "stats::cholesky";
+    /// Inside a baseline serve adapter's `finish`, before the per-point
+    /// predictions are computed (`osr-baselines`' `CollectiveModel` impl).
+    pub const BASELINE_CLASSIFY: &str = "baseline::classify";
 }
 
 static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);

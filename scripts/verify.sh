@@ -45,11 +45,23 @@ cargo test -q -p osr-stats --features fault-inject --test observability
 cargo test -q -p osr-stats --test bank_equivalence
 cargo test -q -p osr-stats --features fault-inject --test bank_equivalence
 
+# Method-agnostic serving: CD-OSR through `&dyn CollectiveModel` must be
+# bit-identical to the direct path, and every baseline must serve through
+# the production BatchServer — under both feature sets, since the fault
+# hooks sit on the trait seam.
+cargo test -q --test collective_parity
+cargo test -q --features fault-inject --test collective_parity
+cargo test -q -p osr-baselines
+cargo test -q -p osr-baselines --features fault-inject
+cargo test -q -p osr-eval
+
 # Bench-schema staleness: the committed serving benchmark report must carry
-# the kernel-invocation counters the SoA refactor added. A missing field
-# means BENCH_serving.json predates the current schema — regenerate it with
-# `cargo bench -p osr-bench --bench serving`.
-for field in one_vs_all_kernels_per_batch batch_vs_one_kernels_per_batch; do
+# the kernel-invocation counters the SoA refactor added (PR 6) and the
+# method tag + serve counters of the method-agnostic schema (v2). A missing
+# field means BENCH_serving.json predates the current schema — regenerate it
+# with `cargo bench -p osr-bench --bench serving`.
+for field in one_vs_all_kernels_per_batch batch_vs_one_kernels_per_batch \
+             schema method serve_retries degraded_batches; do
     if ! grep -q "\"$field\"" BENCH_serving.json; then
         echo "verify: FAIL — BENCH_serving.json lacks '$field'; the report is stale," >&2
         echo "        regenerate with: cargo bench -p osr-bench --bench serving" >&2
@@ -62,6 +74,18 @@ done
 ./target/release/trace_dump --seed 2026 --out results/trace_verify_b.jsonl
 if ! diff -q results/trace_verify_a.jsonl results/trace_verify_b.jsonl; then
     echo "verify: FAIL — trace stream is not deterministic across identical runs" >&2
+    exit 1
+fi
+
+# ...and the CD-OSR batch records of that stream must byte-match the
+# committed golden: the CollectiveModel seam is not allowed to change a
+# single byte of the CD-OSR trace schema (no `method` key, same field
+# order). trace_dump serves the golden suite's exact scene, so its Batch
+# lines ARE the golden stream. (`echo` supplies the golden's missing
+# trailing newline.)
+if ! diff <(tail -n +2 results/trace_verify_a.jsonl) \
+          <(cat tests/goldens/batch_stream.jsonl; echo); then
+    echo "verify: FAIL — CD-OSR trace stream drifted from tests/goldens/batch_stream.jsonl" >&2
     exit 1
 fi
 

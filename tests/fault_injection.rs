@@ -16,6 +16,7 @@
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use hdp_osr::baselines::{BaselineSpec, OsnnParams, ServedBaseline};
 use hdp_osr::core::{
     derive_batch_seed, BatchServer, ClassifyOutcome, DegradeReason, HdpOsr, HdpOsrConfig,
     OsrError, Prediction, RetryPolicy, RingSink, ServePolicy, ServedVia, ServingMode,
@@ -303,6 +304,111 @@ fn degraded_batch_leaves_no_poison_for_the_next_batch_on_its_worker() {
     assert_eq!(first.attempts, 3, "degraded record keeps the failed attempt count");
     assert!(first.sweeps.is_empty(), "frozen inference runs no sweeps");
     assert_eq!(first.served_via, degraded.served_via);
+}
+
+/// An OSNN baseline behind the same serving stack as the CD-OSR tests above.
+fn served_osnn_and_batches() -> (ServedBaseline, Vec<Vec<Vec<f64>>>) {
+    let mut rng = StdRng::seed_from_u64(97);
+    let train = TrainSet {
+        class_ids: vec![0, 1],
+        classes: vec![blob(&mut rng, -6.0, 0.0, 40), blob(&mut rng, 6.0, 0.0, 40)],
+    };
+    let served =
+        ServedBaseline::train(BaselineSpec::Osnn(OsnnParams::default()), &train).unwrap();
+    let batches = vec![
+        blob(&mut rng, -6.0, 0.0, 12),
+        blob(&mut rng, 6.0, 0.0, 12),
+        blob(&mut rng, 0.0, 9.0, 12),
+    ];
+    (served, batches)
+}
+
+#[test]
+fn baseline_divergence_degrades_to_the_deterministic_fallback() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (served, batches) = served_osnn_and_batches();
+    let healthy = BatchServer::with_workers(&served, 2).classify_batches(&batches, SEED);
+
+    let retries_before = counters::serve_retries();
+    let degraded_before = counters::degraded_batches();
+    // Every attempt of batch 1 diverges at the baseline's classify site, so
+    // the retry policy runs dry. Baselines are not reseedable, but their
+    // frozen fallback is the normal deterministic computation — degraded
+    // service must answer with the same predictions a healthy run produces.
+    let _plan = install(FaultPlan::new().inject(
+        sites::BASELINE_CLASSIFY,
+        Some(1),
+        None,
+        Fault::Diverge,
+    ));
+    let faulted = BatchServer::with_workers(&served, 2).classify_batches(&batches, SEED);
+
+    let outcome = faulted[1].as_ref().expect("degradation answers instead of erroring");
+    assert_eq!(
+        outcome.served_via,
+        ServedVia::Degraded { reason: DegradeReason::RetriesExhausted }
+    );
+    assert_eq!(outcome.attempts, 3, "all allowed attempts must be consumed");
+    assert_eq!(outcome.method, "osnn");
+    assert_eq!(outcome.predictions, healthy[1].as_ref().unwrap().predictions);
+    assert_eq!(counters::serve_retries() - retries_before, 2, "3 attempts = 2 retries");
+    assert_eq!(counters::degraded_batches() - degraded_before, 1);
+    for idx in [0usize, 2] {
+        assert_eq!(
+            faulted[idx].as_ref().unwrap().predictions,
+            healthy[idx].as_ref().unwrap().predictions,
+            "sibling batch {idx} of a diverging baseline batch"
+        );
+    }
+}
+
+#[test]
+fn baseline_transient_divergence_recovers_on_retry() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (served, batches) = served_osnn_and_batches();
+    let healthy = BatchServer::with_workers(&served, 2).classify_batches(&batches, SEED);
+
+    let retries_before = counters::serve_retries();
+    // Only attempt 0 of batch 0 diverges; the retry (same seed — baselines
+    // are deterministic, so reseeding is pointless and disabled by the
+    // capability flags) completes full service.
+    let _plan = install(FaultPlan::new().inject(
+        sites::BASELINE_CLASSIFY,
+        Some(0),
+        Some(0),
+        Fault::Diverge,
+    ));
+    let results = BatchServer::with_workers(&served, 2).classify_batches(&batches, SEED);
+
+    let outcome = results[0].as_ref().expect("retry must rescue a transient divergence");
+    assert_eq!(outcome.served_via, ServedVia::Warm, "full service, not degraded");
+    assert_eq!(outcome.attempts, 2, "one failed attempt + one successful retry");
+    assert_eq!(outcome.predictions, healthy[0].as_ref().unwrap().predictions);
+    assert_eq!(counters::serve_retries() - retries_before, 1);
+}
+
+#[test]
+fn baseline_panic_is_isolated_to_its_batch() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (served, batches) = served_osnn_and_batches();
+
+    let _plan = install(FaultPlan::new().inject(
+        sites::BASELINE_CLASSIFY,
+        Some(2),
+        None,
+        Fault::Panic { message: "injected baseline panic".into() },
+    ));
+    let results = BatchServer::with_workers(&served, 2).classify_batches(&batches, SEED);
+
+    match results[2].as_ref().unwrap_err() {
+        OsrError::Internal(msg) => {
+            assert!(msg.contains("injected baseline panic"), "message was: {msg}");
+        }
+        other => panic!("expected Internal from a panicking batch, got {other:?}"),
+    }
+    for idx in [0usize, 1] {
+        assert!(results[idx].is_ok(), "sibling batch {idx} must still serve");
+    }
 }
 
 #[test]
