@@ -234,7 +234,7 @@ fn baseline_classify_fault() -> std::result::Result<(), AttemptError> {
             Some(Fault::DelayMs(ms)) => {
                 std::thread::sleep(std::time::Duration::from_millis(ms));
             }
-            Some(Fault::NanPoint { .. }) | None => {}
+            Some(Fault::NanPoint { .. } | Fault::Corrupt) | None => {}
         }
         if let Some(reason) = osr_stats::divergence::take() {
             return Err(AttemptError::Diverged(reason));
@@ -282,6 +282,10 @@ impl CollectiveModel for ServedBaseline {
             reseedable: false,
             divergence_watchdog: false,
             frozen_fallback: true,
+            // Baselines keep no durable checkpoint: the snapshot container
+            // persists the HDP posterior, which per-instance methods do not
+            // have. An attached SnapshotStore is explicitly unsupported.
+            durable_snapshot: false,
         }
     }
 

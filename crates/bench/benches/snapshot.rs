@@ -1,0 +1,150 @@
+//! Snapshot persistence cost — encode/save/decode/load vs. posterior size.
+//!
+//! Fits warm models with a growing class menu (each class adds dishes and
+//! sufficient statistics to the checkpoint), then measures the four legs of
+//! the durability path:
+//!
+//! * **encode** — [`encode_model`]: canonical bytes in memory (pure CPU);
+//! * **save** — [`SnapshotStore::save`]: temp write + fsync + atomic rename
+//!   (dominated by the disk barrier, so it gets fewer samples);
+//! * **decode** — [`decode_model`]: parse + checksum + posterior rebuild;
+//! * **load** — [`SnapshotStore::load`]: read-back + decode.
+//!
+//! Medians plus bytes-on-disk per scene are written to
+//! `BENCH_snapshot.json` at the repository root.
+//!
+//! ```text
+//! cargo bench -p osr-bench --bench snapshot
+//! ```
+
+use criterion::measure;
+use hdp_osr_core::snapshot::{decode_model, encode_model};
+use hdp_osr_core::{HdpOsr, HdpOsrConfig, ServingMode, SnapshotStore};
+use osr_dataset::protocol::TrainSet;
+use osr_stats::sampling;
+use osr_stats::snapshot::SNAPSHOT_FORMAT_VERSION;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::hint::black_box;
+
+/// Pure in-memory legs (encode / decode) — cheap, so sample generously.
+const CPU_SAMPLES: usize = 200;
+/// Durable legs (save / load) pay an fsync each iteration; keep it short.
+const DISK_SAMPLES: usize = 30;
+const SEED: u64 = 2026;
+
+#[derive(Serialize)]
+struct SceneReport {
+    classes: usize,
+    dim: usize,
+    n_dishes: usize,
+    bytes_on_disk: usize,
+    encode_median_us: f64,
+    save_median_us: f64,
+    decode_median_us: f64,
+    load_median_us: f64,
+    cpu_samples: usize,
+    disk_samples: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: &'static str,
+    /// Container format the measured save/load path speaks; a report from
+    /// an older format is not comparable byte-for-byte.
+    snapshot_format_version: u32,
+    seed: u64,
+    scenes: Vec<SceneReport>,
+}
+
+fn us(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// `n` well-separated classes of 2-D blobs on a circle of radius 8.
+fn scene(rng: &mut StdRng, classes: usize) -> TrainSet {
+    let blobs = (0..classes)
+        .map(|c| {
+            let theta = std::f64::consts::TAU * c as f64 / classes as f64;
+            let (cx, cy) = (8.0 * theta.cos(), 8.0 * theta.sin());
+            (0..40)
+                .map(|_| {
+                    vec![
+                        cx + 0.5 * sampling::standard_normal(rng),
+                        cy + 0.5 * sampling::standard_normal(rng),
+                    ]
+                })
+                .collect()
+        })
+        .collect();
+    TrainSet { class_ids: (1..=classes).collect(), classes: blobs }
+}
+
+fn bench_scene(classes: usize) -> SceneReport {
+    let mut rng = StdRng::seed_from_u64(SEED ^ classes as u64);
+    let train = scene(&mut rng, classes);
+    let config = HdpOsrConfig {
+        iterations: 12,
+        decision_sweeps: 3,
+        serving: ServingMode::WarmStart,
+        ..Default::default()
+    };
+    let model = HdpOsr::fit(&config, &train).expect("warm fit for bench scene");
+    let n_dishes = model.snapshot().expect("warm model has a snapshot").n_dishes();
+
+    let path = std::env::temp_dir().join(format!("osr_bench_snap_{}_{classes}.bin", std::process::id()));
+    let store = SnapshotStore::new(&path);
+    let info = store.save(&model).expect("initial save");
+    let bytes = store.load_bytes().expect("read-back bytes");
+    assert_eq!(bytes.len(), info.bytes);
+    // One full round trip up front so the timed loops exercise warm paths.
+    let reloaded = store.load().expect("initial load");
+    assert_eq!(encode_model(&reloaded).expect("re-encode"), bytes);
+
+    let encode = measure(CPU_SAMPLES, |b| b.iter(|| encode_model(black_box(&model)).unwrap()));
+    let decode = measure(CPU_SAMPLES, |b| b.iter(|| decode_model(black_box(&bytes)).unwrap()));
+    let save = measure(DISK_SAMPLES, |b| b.iter(|| store.save(black_box(&model)).unwrap()));
+    let load = measure(DISK_SAMPLES, |b| b.iter(|| store.load().unwrap()));
+    let _ = std::fs::remove_file(&path);
+
+    SceneReport {
+        classes,
+        dim: model.dim(),
+        n_dishes,
+        bytes_on_disk: info.bytes,
+        encode_median_us: us(encode.median),
+        save_median_us: us(save.median),
+        decode_median_us: us(decode.median),
+        load_median_us: us(load.median),
+        cpu_samples: encode.samples.min(decode.samples),
+        disk_samples: save.samples.min(load.samples),
+    }
+}
+
+fn main() {
+    let report = Report {
+        schema: "snapshot-bench-v1",
+        snapshot_format_version: SNAPSHOT_FORMAT_VERSION,
+        seed: SEED,
+        scenes: [2, 4, 8].into_iter().map(bench_scene).collect(),
+    };
+    for s in &report.scenes {
+        eprintln!(
+            "classes={:>2} dishes={:>3} {:>7} B: encode {:>8.1} us, save {:>8.1} us, \
+             decode {:>8.1} us, load {:>8.1} us",
+            s.classes,
+            s.n_dishes,
+            s.bytes_on_disk,
+            s.encode_median_us,
+            s.save_median_us,
+            s.decode_median_us,
+            s.load_median_us,
+        );
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    println!("{json}");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_snapshot.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_snapshot.json");
+    eprintln!("-> {path}");
+}

@@ -1,0 +1,145 @@
+//! Replica-fleet simulation: one snapshot file, several servers, one truth.
+//!
+//! Fits the golden-trace scene warm, persists the checkpoint through a
+//! [`SnapshotStore`], proves `save → load → re-save` byte identity, then
+//! boots N replica [`BatchServer`]s — each from a *fresh load of the same
+//! snapshot file*, each with a different worker count — and serves the full
+//! batch list on every replica. Each replica writes its trace stream to
+//! `results/replica_<r>.jsonl`; `scripts/verify.sh` byte-compares the
+//! streams pairwise and against the committed golden
+//! (`tests/goldens/replica_stream.jsonl`). The re-encoded container is also
+//! written next to the snapshot (`<snapshot>.resaved`) for an external
+//! `cmp`.
+//!
+//! ```text
+//! replica_fleet [--seed N] [--replicas N] [--snapshot PATH] [--out-dir DIR]
+//! ```
+
+use std::sync::Arc;
+
+use hdp_osr_core::snapshot::encode_model;
+use hdp_osr_core::{
+    BatchServer, HdpOsr, HdpOsrConfig, JsonlSink, ServingMode, SnapshotStore,
+};
+use osr_dataset::protocol::TrainSet;
+use osr_stats::sampling;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn blob(rng: &mut StdRng, cx: f64, cy: f64, n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| {
+            vec![
+                cx + 0.5 * sampling::standard_normal(rng),
+                cy + 0.5 * sampling::standard_normal(rng),
+            ]
+        })
+        .collect()
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("replica_fleet: {msg}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let mut seed: u64 = 2026;
+    let mut replicas: usize = 3;
+    let mut snapshot = String::from("results/replica_snapshot.bin");
+    let mut out_dir = String::from("results");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|a| a.parse().ok()).unwrap_or_else(|| usage_exit());
+            }
+            "--replicas" => {
+                i += 1;
+                replicas =
+                    args.get(i).and_then(|a| a.parse().ok()).unwrap_or_else(|| usage_exit());
+            }
+            "--snapshot" => {
+                i += 1;
+                snapshot = args.get(i).cloned().unwrap_or_else(|| usage_exit());
+            }
+            "--out-dir" => {
+                i += 1;
+                out_dir = args.get(i).cloned().unwrap_or_else(|| usage_exit());
+            }
+            _ => usage_exit(),
+        }
+        i += 1;
+    }
+
+    // The golden-trace scene: two separated classes, four batches covering
+    // known / unknown / mixed (identical to trace_dump and the golden
+    // suites, so the replica streams answer to the same committed truth).
+    let mut rng = StdRng::seed_from_u64(314);
+    let train = TrainSet {
+        class_ids: vec![1, 2],
+        classes: vec![blob(&mut rng, -6.0, 0.0, 40), blob(&mut rng, 6.0, 0.0, 40)],
+    };
+    let batches = vec![
+        blob(&mut rng, -6.0, 0.0, 12),
+        blob(&mut rng, 6.0, 0.0, 12),
+        blob(&mut rng, 0.0, 9.0, 12),
+        {
+            let mut mixed = blob(&mut rng, -6.0, 0.0, 6);
+            mixed.extend(blob(&mut rng, 0.0, 9.0, 6));
+            mixed
+        },
+    ];
+    let config = HdpOsrConfig {
+        iterations: 12,
+        decision_sweeps: 3,
+        serving: ServingMode::WarmStart,
+        ..Default::default()
+    };
+    let model =
+        HdpOsr::fit(&config, &train).unwrap_or_else(|e| fail(&format!("fit failed: {e}")));
+
+    // Persist the checkpoint and prove the round trip is byte-stable.
+    let store = SnapshotStore::new(&snapshot);
+    let info = store.save(&model).unwrap_or_else(|e| fail(&format!("save failed: {e}")));
+    let on_disk = store.load_bytes().unwrap_or_else(|e| fail(&format!("read-back: {e}")));
+    let reloaded = store.load().unwrap_or_else(|e| fail(&format!("load failed: {e}")));
+    let resaved =
+        encode_model(&reloaded).unwrap_or_else(|e| fail(&format!("re-encode failed: {e}")));
+    if resaved != on_disk {
+        fail("save -> load -> re-save is NOT byte-identical");
+    }
+    let resaved_path = format!("{snapshot}.resaved");
+    std::fs::write(&resaved_path, &resaved)
+        .unwrap_or_else(|e| fail(&format!("writing {resaved_path}: {e}")));
+
+    // Boot the fleet: every replica loads the same file fresh and serves
+    // the full batch list under a different worker count.
+    for r in 0..replicas {
+        let replica = store.load().unwrap_or_else(|e| fail(&format!("replica {r} load: {e}")));
+        let out = format!("{out_dir}/replica_{r}.jsonl");
+        let sink = Arc::new(
+            JsonlSink::create(&out).unwrap_or_else(|e| fail(&format!("creating {out}: {e}"))),
+        );
+        let workers = 1 << r; // 1, 2, 4, ... — identity must not depend on it
+        let results = BatchServer::with_workers(&replica, workers)
+            .with_trace_sink(sink)
+            .classify_batches(&batches, seed);
+        let served = results.iter().filter(|x| x.is_ok()).count();
+        if served != batches.len() {
+            fail(&format!("replica {r} served only {served}/{} batches", batches.len()));
+        }
+        eprintln!("replica_fleet: replica {r} ({workers} workers) -> {out}");
+    }
+    eprintln!(
+        "replica_fleet: {replicas} replicas served from {snapshot} \
+         ({} bytes, {} sections, format v{}), round-trip byte-identical",
+        info.bytes, info.n_sections, info.format_version
+    );
+}
+
+fn usage_exit() -> ! {
+    eprintln!("usage: replica_fleet [--seed N] [--replicas N] [--snapshot PATH] [--out-dir DIR]");
+    std::process::exit(2)
+}

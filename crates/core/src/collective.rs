@@ -59,6 +59,11 @@ pub struct ModelCapabilities {
     /// fails. When `false` an exhausted batch surfaces a typed error even
     /// under a degrading policy.
     pub frozen_fallback: bool,
+    /// [`CollectiveModel::classify_from_snapshot`] can reload a durable
+    /// last-good snapshot and serve from it when even the in-memory frozen
+    /// fallback is unavailable. When `false` the server never consults an
+    /// attached [`crate::SnapshotStore`] for this model.
+    pub durable_snapshot: bool,
 }
 
 /// Why one serve attempt did not return a full outcome.
@@ -153,6 +158,22 @@ pub trait CollectiveModel: Send + Sync {
         reason: DegradeReason,
         attempts: u32,
     ) -> Option<ClassifyOutcome>;
+
+    /// Last-rung fallback: reload the last-good durable snapshot from
+    /// `store` and answer `batch` frozen under the reloaded checkpoint, or
+    /// `None` when the store holds nothing usable (missing, corrupted, or
+    /// incompatible snapshot) or the method keeps no durable state
+    /// ([`ModelCapabilities::durable_snapshot`] is `false`, the default).
+    fn classify_from_snapshot(
+        &self,
+        store: &crate::snapshot::SnapshotStore,
+        batch: &[Vec<f64>],
+        reason: DegradeReason,
+        attempts: u32,
+    ) -> Option<ClassifyOutcome> {
+        let _ = (store, batch, reason, attempts);
+        None
+    }
 
     /// One full serve attempt: open a session, drive every planned sweep
     /// (calling `admit` first — the server charges its sweep budget and

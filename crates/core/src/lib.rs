@@ -42,6 +42,7 @@ pub mod kmeans;
 mod model;
 pub mod observability;
 mod serving;
+pub mod snapshot;
 
 pub use collective::{
     AttemptError, CollectiveModel, CollectiveSession, ModelCapabilities, CDOSR_METHOD,
@@ -57,6 +58,7 @@ pub use observability::{
 pub use osr_hdp::{DishId, PosteriorSnapshot, SweepTrace};
 pub use osr_stats::diagnostics::ChainDiagnostics;
 pub use serving::{derive_batch_seed, BatchServer, RetryPolicy, ServePolicy, ServingMode};
+pub use snapshot::{SnapshotInfo, SnapshotStore};
 
 /// Errors produced by the HDP-OSR pipeline.
 ///
@@ -105,6 +107,10 @@ pub enum OsrError {
     Hdp(osr_hdp::HdpError),
     /// Propagated statistics failure.
     Stats(osr_stats::StatsError),
+    /// Durable snapshot failure: corrupted or incompatible on-disk state,
+    /// or an I/O error while persisting/loading it. The typed inner variant
+    /// distinguishes truncation, bit-flips, version skew, and mismatches.
+    Snapshot(osr_stats::snapshot::SnapshotError),
 }
 
 impl std::fmt::Display for OsrError {
@@ -126,6 +132,7 @@ impl std::fmt::Display for OsrError {
             Self::Internal(m) => write!(f, "internal serving failure: {m}"),
             Self::Hdp(e) => write!(f, "sampler failure: {e}"),
             Self::Stats(e) => write!(f, "statistics failure: {e}"),
+            Self::Snapshot(e) => write!(f, "snapshot failure: {e}"),
         }
     }
 }
@@ -141,6 +148,12 @@ impl From<osr_hdp::HdpError> for OsrError {
 impl From<osr_stats::StatsError> for OsrError {
     fn from(e: osr_stats::StatsError) -> Self {
         Self::Stats(e)
+    }
+}
+
+impl From<osr_stats::snapshot::SnapshotError> for OsrError {
+    fn from(e: osr_stats::snapshot::SnapshotError) -> Self {
+        Self::Snapshot(e)
     }
 }
 

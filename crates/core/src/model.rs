@@ -74,7 +74,7 @@ impl Default for HdpOsrConfig {
 }
 
 impl HdpOsrConfig {
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         if !(self.beta > 0.0) {
             return Err(OsrError::InvalidConfig(format!("beta must be > 0, got {}", self.beta)));
         }
@@ -212,6 +212,20 @@ impl HdpOsr {
 
     pub(crate) fn warm(&self) -> Option<&WarmState> {
         self.warm.as_deref()
+    }
+
+    /// Reassemble a fitted model from durable-snapshot parts: the decoded
+    /// configuration, the training groups recovered from the checkpoint,
+    /// and the rebuilt warm state. Used only by [`crate::SnapshotStore`] —
+    /// every invariant was revalidated by the snapshot decode path.
+    pub(crate) fn from_snapshot_parts(
+        config: HdpOsrConfig,
+        classes: Vec<Vec<Vec<f64>>>,
+        warm: WarmState,
+    ) -> Self {
+        let params = warm.snapshot.params().clone();
+        let dim = params.dim();
+        Self { config, params, classes, dim, warm: Some(Arc::new(warm)) }
     }
 
     /// Classify a test batch; convenience wrapper around

@@ -557,6 +557,7 @@ impl CollectiveModel for HdpOsr {
             reseedable: true,
             divergence_watchdog: true,
             frozen_fallback: self.warm().is_some(),
+            durable_snapshot: true,
         }
     }
 
@@ -580,6 +581,27 @@ impl CollectiveModel for HdpOsr {
         attempts: u32,
     ) -> Option<ClassifyOutcome> {
         self.warm().map(|warm| serve_degraded(self, warm, batch, reason, attempts))
+    }
+
+    fn classify_from_snapshot(
+        &self,
+        store: &crate::snapshot::SnapshotStore,
+        batch: &[Vec<f64>],
+        reason: DegradeReason,
+        attempts: u32,
+    ) -> Option<ClassifyOutcome> {
+        // Any load failure — missing file, corruption, version skew — makes
+        // this rung unavailable; the server then surfaces its typed error.
+        // The loaded model must still be compatible with the serving model:
+        // a snapshot of a different dimension cannot answer this batch.
+        let loaded = store.load().ok()?;
+        if loaded.dim() != self.dim() {
+            return None;
+        }
+        let warm = loaded.warm()?;
+        let outcome = serve_degraded(&loaded, warm, batch, reason, attempts);
+        osr_stats::counters::record_durable_recovery();
+        Some(outcome)
     }
 }
 
@@ -696,6 +718,7 @@ pub struct BatchServer<'a> {
     workers: usize,
     policy: ServePolicy,
     sink: Option<Arc<dyn TraceSink>>,
+    snapshot_store: Option<Arc<crate::snapshot::SnapshotStore>>,
 }
 
 impl<'a> BatchServer<'a> {
@@ -703,12 +726,18 @@ impl<'a> BatchServer<'a> {
     /// default [`ServePolicy`].
     pub fn new(model: &'a dyn CollectiveModel) -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self { model, workers, policy: ServePolicy::default(), sink: None }
+        Self { model, workers, policy: ServePolicy::default(), sink: None, snapshot_store: None }
     }
 
     /// A server with an explicit worker count (clamped to ≥ 1).
     pub fn with_workers(model: &'a dyn CollectiveModel, workers: usize) -> Self {
-        Self { model, workers: workers.max(1), policy: ServePolicy::default(), sink: None }
+        Self {
+            model,
+            workers: workers.max(1),
+            policy: ServePolicy::default(),
+            sink: None,
+            snapshot_store: None,
+        }
     }
 
     /// Replace the fault-tolerance policy (builder style).
@@ -723,6 +752,18 @@ impl<'a> BatchServer<'a> {
     /// so the stream is deterministic under any worker count.
     pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Attach a durable [`crate::SnapshotStore`] (builder style): when full
+    /// service fails under a degrading policy and the in-memory frozen
+    /// fallback cannot answer (e.g. a cold-start model), the server reloads
+    /// the store's last-good snapshot and serves frozen from the reloaded
+    /// checkpoint — extending the degrade ladder from "frozen in memory" to
+    /// "recover from durable state". Consulted only for models whose
+    /// [`ModelCapabilities::durable_snapshot`] flag is set.
+    pub fn with_snapshot_store(mut self, store: Arc<crate::snapshot::SnapshotStore>) -> Self {
+        self.snapshot_store = Some(store);
         self
     }
 
@@ -910,14 +951,31 @@ impl<'a> BatchServer<'a> {
         }
 
         let reason = resource_breach.unwrap_or(DegradeReason::RetriesExhausted);
-        if self.policy.degrade && caps.frozen_fallback {
-            if let Some(mut outcome) = self.model.classify_frozen(batch, reason, attempts_used) {
-                osr_stats::counters::record_degraded_batch();
-                // Degraded frozen inference runs no sweeps; the failed
-                // attempts' partial traces are dropped with the attempts.
-                let trace =
-                    self.batch_trace(idx, seed, &mut outcome, inherited_poison, Vec::new());
-                return (Ok(outcome), Some(trace));
+        if self.policy.degrade {
+            if caps.frozen_fallback {
+                if let Some(mut outcome) = self.model.classify_frozen(batch, reason, attempts_used)
+                {
+                    osr_stats::counters::record_degraded_batch();
+                    // Degraded frozen inference runs no sweeps; the failed
+                    // attempts' partial traces are dropped with the attempts.
+                    let trace =
+                        self.batch_trace(idx, seed, &mut outcome, inherited_poison, Vec::new());
+                    return (Ok(outcome), Some(trace));
+                }
+            }
+            // Last rung of the ladder: recover from the durable last-good
+            // snapshot. Reached only when in-memory freezing is impossible
+            // (cold model) or declined — the reload is per-batch and cheap
+            // relative to the failed attempts that got us here.
+            if let (Some(store), true) = (&self.snapshot_store, caps.durable_snapshot) {
+                if let Some(mut outcome) =
+                    self.model.classify_from_snapshot(store, batch, reason, attempts_used)
+                {
+                    osr_stats::counters::record_degraded_batch();
+                    let trace =
+                        self.batch_trace(idx, seed, &mut outcome, inherited_poison, Vec::new());
+                    return (Ok(outcome), Some(trace));
+                }
             }
         }
         (

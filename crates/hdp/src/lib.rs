@@ -28,6 +28,7 @@
 
 mod concentration;
 mod engine;
+mod persist;
 mod sampler;
 mod session;
 mod state;

@@ -1,0 +1,331 @@
+//! Snapshot codec for the HDP posterior: the section payloads a durable
+//! [`crate::PosteriorSnapshot`] checkpoint is made of.
+//!
+//! The container framing (magic, version, CRCs) lives in
+//! [`osr_stats::snapshot`]; this module owns only the *section* byte
+//! layouts for the franchise state. Everything serialized here is canonical
+//! observable state — seating, dish statistics, concentrations, the
+//! free-list replay order — while derived quantities (predictive constants,
+//! caches, scratch buffers) are rebuilt on load through the exact code paths
+//! a freshly trained sampler uses, which is what makes save → load →
+//! re-save byte-identical and a reloaded replica bit-equal to the original.
+//!
+//! Deliberately named `persist`, not `snapshot`: the workspace lint scopes
+//! its `snapshot-versioned` rule to `*/snapshot.rs` files, which are the
+//! modules that own serializable container/report types.
+
+use std::sync::Arc;
+
+use osr_stats::snapshot::{Dec, Enc, SnapResult, SnapshotError, SnapshotFile, SnapshotWriter};
+use osr_stats::{DishBank, NiwParams, NiwPosterior};
+
+use crate::state::{Dish, HdpConfig, HdpState, Table};
+
+/// Section id of the base-measure hyperparameters (NIW prior).
+pub const SEC_PARAMS: u32 = 1;
+/// Section id of the sampler configuration.
+pub const SEC_HDP_CONFIG: u32 = 2;
+/// Section id of the seating arrangement (groups, tables, dishes, menu,
+/// concentrations).
+pub const SEC_SEATING: u32 = 3;
+/// Section id of the dish bank (per-dish NIW sufficient statistics).
+pub const SEC_BANK: u32 = 4;
+/// Section id of the cached prior posterior (the "empty dish" predictive).
+pub const SEC_PRIOR_POST: u32 = 5;
+
+/// `u64` sentinel standing in for `usize::MAX` (an unseated item) on the
+/// wire — the format is 64-bit regardless of host.
+const UNSEATED: u64 = u64::MAX;
+
+/// Append every HDP section to `w`.
+pub(crate) fn write_sections(
+    state: &HdpState,
+    config: &HdpConfig,
+    prior_post: &NiwPosterior,
+    w: &mut SnapshotWriter,
+) {
+    let mut enc = Enc::new();
+    state.params.encode_into(&mut enc);
+    w.section(SEC_PARAMS, enc.into_bytes());
+
+    let mut enc = Enc::new();
+    enc.put_f64(config.gamma_prior.0);
+    enc.put_f64(config.gamma_prior.1);
+    enc.put_f64(config.alpha_prior.0);
+    enc.put_f64(config.alpha_prior.1);
+    enc.put_bool(config.resample_concentrations);
+    enc.put_usize(config.iterations);
+    w.section(SEC_HDP_CONFIG, enc.into_bytes());
+
+    let mut enc = Enc::new();
+    encode_seating(state, &mut enc);
+    w.section(SEC_SEATING, enc.into_bytes());
+
+    let mut enc = Enc::new();
+    state.bank.encode_into(&mut enc);
+    w.section(SEC_BANK, enc.into_bytes());
+
+    let mut enc = Enc::new();
+    prior_post.encode_into(&mut enc);
+    w.section(SEC_PRIOR_POST, enc.into_bytes());
+}
+
+/// Decode every HDP section of a verified container back into snapshot
+/// parts, cross-validating the seating bookkeeping so a later sweep can
+/// never panic on state a corrupted-but-CRC-valid writer produced.
+pub(crate) fn read_sections(
+    file: &SnapshotFile<'_>,
+) -> SnapResult<(HdpState, HdpConfig, NiwPosterior)> {
+    let mut dec = Dec::new(file.section(SEC_PARAMS)?);
+    let params = NiwParams::decode_from(&mut dec)?;
+    dec.finish("params section")?;
+    if params.dim() != file.dim() {
+        return Err(SnapshotError::DimensionMismatch {
+            expected: file.dim(),
+            got: params.dim(),
+        });
+    }
+
+    let mut dec = Dec::new(file.section(SEC_HDP_CONFIG)?);
+    let config = HdpConfig {
+        gamma_prior: (dec.f64("gamma_prior shape")?, dec.f64("gamma_prior rate")?),
+        alpha_prior: (dec.f64("alpha_prior shape")?, dec.f64("alpha_prior rate")?),
+        resample_concentrations: dec.bool("resample_concentrations")?,
+        iterations: dec.usize("iterations")?,
+    };
+    dec.finish("config section")?;
+    config
+        .validate()
+        .map_err(|e| SnapshotError::Malformed(format!("HdpConfig: {e}")))?;
+
+    let mut dec = Dec::new(file.section(SEC_BANK)?);
+    let bank = DishBank::decode_from(&mut dec, &params)?;
+    dec.finish("bank section")?;
+
+    let mut dec = Dec::new(file.section(SEC_PRIOR_POST)?);
+    let prior_post = NiwPosterior::decode_from(&mut dec)?;
+    dec.finish("prior posterior section")?;
+    if prior_post.dim() != params.dim() {
+        return Err(SnapshotError::DimensionMismatch {
+            expected: params.dim(),
+            got: prior_post.dim(),
+        });
+    }
+
+    let mut dec = Dec::new(file.section(SEC_SEATING)?);
+    let state = decode_seating(&mut dec, params, bank)?;
+    dec.finish("seating section")?;
+    Ok((state, config, prior_post))
+}
+
+fn encode_seating(state: &HdpState, enc: &mut Enc) {
+    enc.put_usize(state.groups.len());
+    for (group, assignment) in state.groups.iter().zip(&state.assignment) {
+        enc.put_usize(group.len());
+        for point in group.iter() {
+            enc.put_f64_slice(point);
+        }
+        debug_assert_eq!(group.len(), assignment.len());
+        for &table in assignment {
+            enc.put_u64(if table == usize::MAX { UNSEATED } else { table as u64 });
+        }
+    }
+    for tables in &state.tables {
+        enc.put_usize(tables.len());
+        for table in tables {
+            enc.put_usize(table.dish);
+            enc.put_usize(table.members.len());
+            for &member in &table.members {
+                enc.put_usize(member);
+            }
+        }
+    }
+    enc.put_usize(state.dishes.len());
+    for dish in &state.dishes {
+        enc.put_bool(dish.is_some());
+        if let Some(dish) = dish {
+            enc.put_usize(dish.slot);
+            enc.put_usize(dish.n_tables);
+        }
+    }
+    enc.put_f64(state.gamma);
+    enc.put_f64(state.alpha);
+    enc.put_u64(state.seat_moves);
+}
+
+fn decode_seating(
+    dec: &mut Dec<'_>,
+    params: NiwParams,
+    bank: DishBank,
+) -> SnapResult<HdpState> {
+    let d = params.dim();
+    let n_groups = dec.count(8, "group count")?;
+    let mut groups = Vec::with_capacity(n_groups);
+    let mut assignment = Vec::with_capacity(n_groups);
+    for j in 0..n_groups {
+        let len = dec.count(8 * (d + 1), "group length")?;
+        let mut points = Vec::with_capacity(len);
+        for i in 0..len {
+            let point = dec.f64_vec(d, "group point")?;
+            if point.iter().any(|v| !v.is_finite()) {
+                return Err(SnapshotError::Malformed(format!(
+                    "group {j} point {i} has a non-finite coordinate"
+                )));
+            }
+            points.push(point);
+        }
+        let mut seats = Vec::with_capacity(len);
+        for _ in 0..len {
+            let raw = dec.u64("assignment entry")?;
+            seats.push(if raw == UNSEATED {
+                usize::MAX
+            } else {
+                usize::try_from(raw).map_err(|_| {
+                    SnapshotError::Malformed(format!(
+                        "group {j}: assignment entry {raw} exceeds the host's usize"
+                    ))
+                })?
+            });
+        }
+        groups.push(Arc::new(points));
+        assignment.push(seats);
+    }
+    let mut tables = Vec::with_capacity(n_groups);
+    for _ in 0..n_groups {
+        let n_tables = dec.count(2 * 8, "table count")?;
+        let mut group_tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            let dish = dec.usize("table dish")?;
+            let n_members = dec.count(8, "table member count")?;
+            let mut members = Vec::with_capacity(n_members);
+            for _ in 0..n_members {
+                members.push(dec.usize("table member")?);
+            }
+            group_tables.push(Table { dish, members });
+        }
+        tables.push(group_tables);
+    }
+    let n_dish_ids = dec.count(1, "dish menu length")?;
+    let mut dishes = Vec::with_capacity(n_dish_ids);
+    for _ in 0..n_dish_ids {
+        if dec.bool("dish live flag")? {
+            let slot = dec.usize("dish slot")?;
+            let n_tables = dec.usize("dish table count")?;
+            dishes.push(Some(Dish { slot, n_tables }));
+        } else {
+            dishes.push(None);
+        }
+    }
+    let gamma = dec.f64("gamma")?;
+    let alpha = dec.f64("alpha")?;
+    let seat_moves = dec.u64("seat_moves")?;
+    if !(gamma.is_finite() && gamma > 0.0 && alpha.is_finite() && alpha > 0.0) {
+        return Err(SnapshotError::Malformed(format!(
+            "concentrations gamma = {gamma}, alpha = {alpha} out of domain"
+        )));
+    }
+
+    let state = HdpState {
+        params,
+        groups,
+        assignment,
+        tables,
+        dishes,
+        bank,
+        gamma,
+        alpha,
+        seat_moves,
+        scratch: Default::default(),
+    };
+    validate_seating(&state)?;
+    Ok(state)
+}
+
+/// Cross-validate the decoded bookkeeping: every index that the seating
+/// engine would later follow unchecked must resolve. This is the non-panicking
+/// twin of `HdpState::check_invariants` — corruption that survives the CRCs
+/// (i.e. a buggy or hostile writer) surfaces here as
+/// [`SnapshotError::Malformed`].
+fn validate_seating(state: &HdpState) -> SnapResult<()> {
+    let malformed = |msg: String| Err(SnapshotError::Malformed(msg));
+    if state.tables.len() != state.groups.len() {
+        return malformed(format!(
+            "{} table lists for {} groups",
+            state.tables.len(),
+            state.groups.len()
+        ));
+    }
+    for (j, (group, seats)) in state.groups.iter().zip(&state.assignment).enumerate() {
+        if group.len() != seats.len() {
+            return malformed(format!(
+                "group {j}: {} assignment entries for {} points",
+                seats.len(),
+                group.len()
+            ));
+        }
+        for (i, &t) in seats.iter().enumerate() {
+            if t != usize::MAX {
+                if t >= state.tables[j].len() {
+                    return malformed(format!(
+                        "group {j} item {i} sits at table {t} of {}",
+                        state.tables[j].len()
+                    ));
+                }
+                if !state.tables[j][t].members.contains(&i) {
+                    return malformed(format!(
+                        "group {j} item {i} is not among table {t}'s members"
+                    ));
+                }
+            }
+        }
+    }
+    let mut n_tables_by_dish = vec![0usize; state.dishes.len()];
+    for (j, tables) in state.tables.iter().enumerate() {
+        for (t, table) in tables.iter().enumerate() {
+            match state.dishes.get(table.dish) {
+                Some(Some(_)) => n_tables_by_dish[table.dish] += 1,
+                _ => {
+                    return malformed(format!(
+                        "group {j} table {t} serves unknown dish {}",
+                        table.dish
+                    ))
+                }
+            }
+            if table.members.is_empty() {
+                return malformed(format!("group {j} table {t} has no members"));
+            }
+            for &i in &table.members {
+                if i >= state.groups[j].len() || state.assignment[j][i] != t {
+                    return malformed(format!(
+                        "group {j} table {t} lists member {i} that is not seated there"
+                    ));
+                }
+            }
+        }
+    }
+    let mut seen_slots = vec![false; state.bank.n_slots()];
+    for (id, dish) in state.live_dishes() {
+        if dish.slot >= state.bank.n_slots() || !state.bank.is_live(dish.slot) {
+            return malformed(format!("dish {id} occupies dead bank slot {}", dish.slot));
+        }
+        if seen_slots[dish.slot] {
+            return malformed(format!("dish {id} shares bank slot {}", dish.slot));
+        }
+        seen_slots[dish.slot] = true;
+        if dish.n_tables != n_tables_by_dish[id] {
+            return malformed(format!(
+                "dish {id} claims {} tables but {} serve it",
+                dish.n_tables, n_tables_by_dish[id]
+            ));
+        }
+    }
+    let n_live_dishes = state.live_dishes().count();
+    if state.bank.n_live() != n_live_dishes {
+        return malformed(format!(
+            "bank has {} live slots for {} live dishes",
+            state.bank.n_live(),
+            n_live_dishes
+        ));
+    }
+    Ok(())
+}

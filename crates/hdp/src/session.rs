@@ -97,6 +97,16 @@ impl PosteriorSnapshot {
         self.state.dish_of(group, item)
     }
 
+    /// The observations of training group `group` (one row per item) — lets
+    /// a consumer reconstruct its per-class training data from a durable
+    /// checkpoint alone.
+    ///
+    /// # Panics
+    /// Panics when `group` is out of range.
+    pub fn group_points(&self, group: usize) -> &[Vec<f64>] {
+        &self.state.groups[group]
+    }
+
     /// Per-dish item counts within one group, sorted by descending count.
     pub fn group_summary(&self, group: usize) -> GroupSummary {
         self.state.group_summary(group)
@@ -195,6 +205,30 @@ impl PosteriorSnapshot {
     /// groups from the frozen arrangement.
     pub fn restore(&self) -> Hdp {
         Hdp::from_parts(self.state.clone(), self.config, self.prior_post.clone())
+    }
+
+    /// Append this checkpoint's sections (base measure, config, seating,
+    /// dish bank, prior posterior) to a durable snapshot container. The
+    /// byte output is a pure function of the checkpoint's canonical state:
+    /// writing the same checkpoint twice — or writing a checkpoint decoded
+    /// by [`Self::read_sections`] — produces identical bytes.
+    pub fn write_sections(&self, w: &mut osr_stats::snapshot::SnapshotWriter) {
+        crate::persist::write_sections(&self.state, &self.config, &self.prior_post, w);
+    }
+
+    /// Decode a checkpoint from a verified snapshot container, revalidating
+    /// every decoded invariant (dimensions, seating cross-references, bank
+    /// consistency) so that serving from the result can never panic on
+    /// corrupted-but-CRC-valid input.
+    ///
+    /// # Errors
+    /// Typed [`osr_stats::snapshot::SnapshotError`] on any missing section,
+    /// truncation, dimension mismatch, or invariant violation.
+    pub fn read_sections(
+        file: &osr_stats::snapshot::SnapshotFile<'_>,
+    ) -> osr_stats::snapshot::SnapResult<Self> {
+        let (state, config, prior_post) = crate::persist::read_sections(file)?;
+        Ok(Self { state, config, prior_post })
     }
 
     /// Open a warm serving session: clone the checkpoint, append `batch` as
@@ -444,6 +478,73 @@ mod tests {
         let mut resumed = snap.restore();
         resumed.sweep(&mut rng);
         resumed.check_invariants();
+    }
+
+    #[test]
+    fn snapshot_sections_roundtrip_byte_identically_and_serve_bit_equal() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let hdp = trained(&mut rng);
+        let snap = hdp.snapshot();
+
+        let encode = |s: &PosteriorSnapshot| {
+            let mut w =
+                osr_stats::snapshot::SnapshotWriter::new("cdosr", s.params().dim());
+            s.write_sections(&mut w);
+            w.finish()
+        };
+        let bytes = encode(&snap);
+        // Encoding is a pure function of canonical state.
+        assert_eq!(bytes, encode(&snap));
+
+        let file = osr_stats::snapshot::SnapshotFile::parse(&bytes).unwrap();
+        let decoded = PosteriorSnapshot::read_sections(&file).unwrap();
+        // Save → load → re-save is byte-identical.
+        assert_eq!(bytes, encode(&decoded));
+
+        // The reloaded checkpoint is observationally bit-equal: structure,
+        // likelihood, MAP decisions, and a warm serve under one seed.
+        assert_eq!(snap.n_dishes(), decoded.n_dishes());
+        assert_eq!(snap.total_tables(), decoded.total_tables());
+        assert_eq!(snap.gamma().to_bits(), decoded.gamma().to_bits());
+        assert_eq!(snap.alpha().to_bits(), decoded.alpha().to_bits());
+        assert_eq!(
+            snap.joint_log_likelihood().to_bits(),
+            decoded.joint_log_likelihood().to_bits()
+        );
+        let probe = vec![vec![-6.0, 0.2], vec![6.1, -0.1], vec![0.0, 9.0]];
+        assert_eq!(snap.map_dishes(&probe), decoded.map_dishes(&probe));
+        let serve = |s: &PosteriorSnapshot| {
+            let mut rng = StdRng::seed_from_u64(77);
+            let mut sess = s.session(probe.clone()).unwrap();
+            sess.run(3, &mut rng);
+            (0..probe.len()).map(|i| sess.dish_of(i)).collect::<Vec<_>>()
+        };
+        assert_eq!(serve(&snap), serve(&decoded));
+        decoded.restore().check_invariants();
+    }
+
+    #[test]
+    fn snapshot_sections_reject_tampered_seating() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let hdp = trained(&mut rng);
+        let snap = hdp.snapshot();
+        // Re-encode the seating section with a table pointing at a retired
+        // dish id: the CRCs pass (we re-stamp them), so the typed error must
+        // come from the cross-validation layer.
+        let mut w = osr_stats::snapshot::SnapshotWriter::new("cdosr", 2);
+        snap.write_sections(&mut w);
+        let bytes = w.finish();
+        let file = osr_stats::snapshot::SnapshotFile::parse(&bytes).unwrap();
+        let mut decoded = PosteriorSnapshot::read_sections(&file).unwrap();
+        decoded.state.tables[0][0].dish = decoded.state.dishes.len() + 7;
+        let mut w = osr_stats::snapshot::SnapshotWriter::new("cdosr", 2);
+        decoded.write_sections(&mut w);
+        let tampered = w.finish();
+        let file = osr_stats::snapshot::SnapshotFile::parse(&tampered).unwrap();
+        assert!(matches!(
+            PosteriorSnapshot::read_sections(&file),
+            Err(osr_stats::snapshot::SnapshotError::Malformed(_))
+        ));
     }
 
     #[test]

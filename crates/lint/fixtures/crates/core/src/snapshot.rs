@@ -1,0 +1,12 @@
+// Fixture: a snapshot module whose serialized metadata is not pinned to the
+// container format version, plus an unwrap on the (panic-free) store path.
+
+#[derive(Debug, Serialize)]
+pub struct SnapshotInfo {
+    pub method: String,
+    pub bytes: usize,
+}
+
+pub fn load_unchecked(path: &str) -> Vec<u8> {
+    std::fs::read(path).unwrap()
+}

@@ -1,0 +1,11 @@
+// Fixture: version-pinned snapshot metadata, but a float field with a serde
+// default — a default-filled float bypasses the checksummed canonical bytes.
+
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+pub struct SectionMeta {
+    pub version: u32,
+    #[serde(default)]
+    pub gamma: f64,
+}

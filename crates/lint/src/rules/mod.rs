@@ -16,6 +16,7 @@ pub mod determinism;
 pub mod fault_sites;
 pub mod indexing;
 pub mod panic_path;
+pub mod snapshot;
 pub mod unsafe_hygiene;
 
 use crate::diagnostics::Diagnostic;
@@ -32,6 +33,7 @@ pub const RULE_NAMES: &[&str] = &[
     "seqcst-atomic",
     "fault-site-registration",
     "predictive-no-alloc",
+    "snapshot-versioned",
 ];
 
 /// Vendored dependency-shim crates (directory names under `crates/`).
@@ -55,6 +57,7 @@ pub const PANIC_FREE_FILES: &[&str] = &[
     "crates/core/src/serving.rs",
     "crates/core/src/admission.rs",
     "crates/core/src/collective.rs",
+    "crates/core/src/snapshot.rs",
     "crates/baselines/src/serve.rs",
     "crates/hdp/src/engine.rs",
 ];
@@ -115,6 +118,12 @@ pub fn check_file(path: &str, file: &ScannedFile) -> Vec<Diagnostic> {
     }
     if path == PREDICTIVE_KERNEL_FILE {
         out.extend(alloc_free::check(path, file));
+    }
+    // Snapshot modules anywhere in the workspace (the container codec in
+    // `osr-stats`, the durable store in `hdp-osr-core`, future methods'
+    // persistence layers) answer for the versioning rule by file name.
+    if path.starts_with("crates/") && path.ends_with("/snapshot.rs") {
+        out.extend(snapshot::check(path, file));
     }
     out
 }

@@ -1,0 +1,131 @@
+//! `snapshot-versioned`: serialized snapshot metadata must be pinned to the
+//! container format version and must not default-fill floats.
+//!
+//! The durable snapshot subsystem (PR 8) promises `save → load → re-save`
+//! byte identity, guarded by per-section CRCs and a header format version.
+//! Two source-level patterns quietly undermine that promise inside a
+//! `snapshot.rs` module:
+//!
+//! * a `#[derive(Serialize)]` item in a file that never references
+//!   `SNAPSHOT_FORMAT_VERSION` — serialized snapshot metadata that is not
+//!   tied to the format constant can drift silently when the container
+//!   version bumps;
+//! * a `#[serde(default)]` on an `f32`/`f64` field — a default-filled float
+//!   materializes data that was never on disk, bypassing the
+//!   checksum-backed canonical bytes (and `0.0` is indistinguishable from a
+//!   genuinely stored zero, so the patch-over is invisible downstream).
+//!
+//! Scope: files named `snapshot.rs` under `crates/` (routed by the
+//! registry). Test code is exempt, as everywhere.
+
+use crate::diagnostics::Diagnostic;
+use crate::scanner::{find_matching_close, find_open_brace, has_word, ScannedFile};
+
+/// Check one `snapshot.rs` file.
+pub fn check(path: &str, file: &ScannedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let lines = &file.lines;
+    let version_pinned = lines
+        .iter()
+        .any(|l| !l.in_test && has_word(&l.code, "SNAPSHOT_FORMAT_VERSION"));
+
+    let mut idx = 0usize;
+    while idx < lines.len() {
+        let code = &lines[idx].code;
+        let is_serialize_derive =
+            code.contains("derive(") && has_word(code, "Serialize") && code.contains("#[");
+        if !is_serialize_derive || lines[idx].in_test {
+            idx += 1;
+            continue;
+        }
+        if !version_pinned {
+            out.push(Diagnostic {
+                rule: "snapshot-versioned".to_string(),
+                file: path.to_string(),
+                line: idx + 1,
+                message: "#[derive(Serialize)] in a snapshot module that never references \
+                          SNAPSHOT_FORMAT_VERSION: serialized snapshot metadata must be \
+                          pinned to the container format version"
+                    .to_string(),
+            });
+        }
+        let Some((open_line, open_col)) = find_open_brace(lines, idx) else {
+            idx += 1;
+            continue;
+        };
+        let end = find_matching_close(lines, open_line, open_col)
+            .unwrap_or(lines.len().saturating_sub(1));
+        for k in open_line..=end {
+            let field = &lines[k].code;
+            let is_float_field = has_word(field, "f64") || has_word(field, "f32");
+            let defaulted = field.contains("serde") && field.contains("default")
+                || k > 0
+                    && lines[k - 1].code.contains("serde")
+                    && lines[k - 1].code.contains("default");
+            if is_float_field && defaulted {
+                out.push(Diagnostic {
+                    rule: "snapshot-versioned".to_string(),
+                    file: path.to_string(),
+                    line: k + 1,
+                    message: "#[serde(default)] on a float field of a serialized snapshot \
+                              item: a default-filled float materializes data the checksummed \
+                              container never stored; make the field mandatory"
+                        .to_string(),
+                });
+            }
+        }
+        idx = end + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    const PATH: &str = "crates/core/src/snapshot.rs";
+
+    #[test]
+    fn unpinned_serialize_derive_is_flagged() {
+        let src = "#[derive(Debug, Serialize)]\npub struct Info {\n    pub bytes: usize,\n}\n";
+        let d = check(PATH, &scan(src));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+        assert!(d[0].message.contains("SNAPSHOT_FORMAT_VERSION"));
+    }
+
+    #[test]
+    fn version_pinned_derive_is_clean() {
+        let src = "pub const V: u32 = SNAPSHOT_FORMAT_VERSION;\n#[derive(Serialize)]\npub struct Info {\n    pub version: u32,\n}\n";
+        assert!(check(PATH, &scan(src)).is_empty());
+    }
+
+    #[test]
+    fn defaulted_float_field_is_flagged_even_when_pinned() {
+        let src = "use super::SNAPSHOT_FORMAT_VERSION;\n#[derive(Serialize, Deserialize)]\npub struct Meta {\n    #[serde(default)]\n    pub gamma: f64,\n    pub n: usize,\n}\n";
+        let d = check(PATH, &scan(src));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 5);
+        assert!(d[0].message.contains("default-filled float"));
+    }
+
+    #[test]
+    fn defaults_on_non_float_fields_are_fine() {
+        let src = "use super::SNAPSHOT_FORMAT_VERSION;\n#[derive(Serialize)]\npub struct Meta {\n    #[serde(default)]\n    pub name: String,\n}\n";
+        assert!(check(PATH, &scan(src)).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[derive(Serialize)]\n    struct T { x: f64 }\n}\n";
+        assert!(check(PATH, &scan(src)).is_empty());
+    }
+
+    #[test]
+    fn mentions_inside_tests_do_not_pin_the_version() {
+        let src = "#[derive(Serialize)]\npub struct Info { pub v: u32 }\n#[cfg(test)]\nmod tests {\n    use super::*;\n    const V: u32 = SNAPSHOT_FORMAT_VERSION;\n}\n";
+        let d = check(PATH, &scan(src));
+        assert_eq!(d.len(), 1, "a test-only mention must not satisfy the pin");
+    }
+}

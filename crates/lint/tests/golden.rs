@@ -27,8 +27,8 @@ fn fixture_tree_json_matches_golden() {
 #[test]
 fn fixture_tree_counts() {
     let report = osr_lint::run(&fixture_root(), false).expect("scan fixture tree");
-    assert_eq!(report.files_scanned, 13);
-    assert_eq!(report.violations.len(), 18);
+    assert_eq!(report.files_scanned, 15);
+    assert_eq!(report.violations.len(), 21);
     assert_eq!(report.allowed, 6, "three trailing allows + three allow-file suppressions");
 }
 
@@ -48,5 +48,7 @@ fn human_rendering_carries_spans_and_rules() {
     assert!(human.contains("crates/stats/src/faults.rs:8: [fault-site-registration]"));
     assert!(human.contains("crates/stats/src/bank.rs:9: [predictive-no-alloc]"));
     assert!(human.contains("crates/baselines/src/serve.rs:4: [unchecked-index]"));
-    assert!(human.contains("18 violation(s)"));
+    assert!(human.contains("crates/core/src/snapshot.rs:4: [snapshot-versioned]"));
+    assert!(human.contains("crates/stats/src/snapshot.rs:10: [snapshot-versioned]"));
+    assert!(human.contains("21 violation(s)"));
 }

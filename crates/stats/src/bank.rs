@@ -388,6 +388,140 @@ impl DishBank {
         self.free.push(slot);
     }
 
+    /// Append the bank's canonical state to a snapshot payload: layout,
+    /// per-slot live flags with the live slots' posterior state (n, κₙ, νₙ,
+    /// μₙ, packed factor, packed Ψₙ), and the free-list in its exact order
+    /// (slot allocation pops the list back-to-front, so the order is part of
+    /// the deterministic replay contract).
+    ///
+    /// Dead slots contribute only their flag — their stale array contents
+    /// are unobservable (every `alloc` re-stamps the full slot), so omitting
+    /// them makes the byte stream a pure function of observable state and
+    /// save→load→re-save byte-identical. Derived constants (`df`, `base`,
+    /// `exp_ls`, caches, scratch) are never written: [`Self::decode_from`]
+    /// rebuilds them via the exact `refresh_constants` sequence.
+    pub fn encode_into(&self, enc: &mut crate::snapshot::Enc) {
+        enc.put_usize(self.d);
+        enc.put_usize(self.live.len());
+        for slot in 0..self.live.len() {
+            enc.put_bool(self.live[slot]);
+            if !self.live[slot] {
+                continue;
+            }
+            enc.put_usize(self.n[slot]);
+            enc.put_f64(self.kappa[slot]);
+            enc.put_f64(self.nu[slot]);
+            enc.put_f64_slice(&self.mu[slot * self.d..(slot + 1) * self.d]);
+            enc.put_f64_slice(&self.chol[slot * self.tri..(slot + 1) * self.tri]);
+            enc.put_f64_slice(&self.psi[slot * self.tri..(slot + 1) * self.tri]);
+        }
+        enc.put_usize(self.free.len());
+        for &slot in &self.free {
+            enc.put_usize(slot);
+        }
+    }
+
+    /// Decode a bank written by [`Self::encode_into`], rebuilding the prior
+    /// template and every derived constant from `params` and the decoded
+    /// canonical state.
+    ///
+    /// # Errors
+    /// [`crate::snapshot::SnapshotError::DimensionMismatch`] when the
+    /// payload's dimension disagrees with `params`, and typed errors for
+    /// truncation, non-finite posterior state, or an inconsistent free-list.
+    pub fn decode_from(
+        dec: &mut crate::snapshot::Dec<'_>,
+        params: &NiwParams,
+    ) -> crate::snapshot::SnapResult<Self> {
+        use crate::snapshot::SnapshotError;
+        let mut bank = Self::new(params);
+        let d = dec.count(1, "DishBank dim")?;
+        if d != params.dim() {
+            return Err(SnapshotError::DimensionMismatch {
+                expected: params.dim(),
+                got: d,
+            });
+        }
+        let tri = bank.tri;
+        // Each slot contributes at least its one-byte live flag.
+        let n_slots = dec.count(1, "DishBank slots")?;
+        bank.n = vec![0; n_slots];
+        bank.kappa = vec![0.0; n_slots];
+        bank.nu = vec![0.0; n_slots];
+        bank.mu = vec![0.0; n_slots * d];
+        bank.chol = vec![0.0; n_slots * tri];
+        bank.psi = vec![0.0; n_slots * tri];
+        bank.df = vec![0.0; n_slots];
+        bank.half_df_dd = vec![0.0; n_slots];
+        bank.exp_ls = vec![0.0; n_slots];
+        bank.base = vec![0.0; n_slots];
+        bank.log_det_chol = vec![0.0; n_slots];
+        bank.live = vec![false; n_slots];
+        for slot in 0..n_slots {
+            if !dec.bool("DishBank live flag")? {
+                continue;
+            }
+            bank.live[slot] = true;
+            bank.n[slot] = dec.usize("DishBank n")?;
+            let kappa = dec.f64("DishBank kappa")?;
+            let nu = dec.f64("DishBank nu")?;
+            if !(kappa.is_finite() && kappa > 0.0 && nu.is_finite()) {
+                return Err(SnapshotError::Malformed(format!(
+                    "DishBank slot {slot}: kappa = {kappa}, nu = {nu} out of \
+                     domain"
+                )));
+            }
+            bank.kappa[slot] = kappa;
+            bank.nu[slot] = nu;
+            let mu = dec.f64_vec(d, "DishBank mu")?;
+            bank.mu[slot * d..(slot + 1) * d].copy_from_slice(&mu);
+            let chol = dec.f64_vec(tri, "DishBank chol")?;
+            // Column-packed diagonals lead their columns; the predictive
+            // constants take their lns, so they must be finite and positive.
+            let mut off = 0;
+            for j in 0..d {
+                let diag = chol[off];
+                if !(diag.is_finite() && diag > 0.0) {
+                    return Err(SnapshotError::Malformed(format!(
+                        "DishBank slot {slot}: factor diagonal [{j}] = {diag} \
+                         is not finite and positive"
+                    )));
+                }
+                off += d - j;
+            }
+            bank.chol[slot * tri..(slot + 1) * tri].copy_from_slice(&chol);
+            let psi = dec.f64_vec(tri, "DishBank psi")?;
+            bank.psi[slot * tri..(slot + 1) * tri].copy_from_slice(&psi);
+        }
+        let n_free = dec.count(8, "DishBank free-list")?;
+        let n_dead = n_slots - bank.live.iter().filter(|&&l| l).count();
+        if n_free != n_dead {
+            return Err(SnapshotError::Malformed(format!(
+                "DishBank free-list has {n_free} entries but {n_dead} slots \
+                 are dead"
+            )));
+        }
+        let mut seen = vec![false; n_slots];
+        bank.free = Vec::with_capacity(n_free);
+        for _ in 0..n_free {
+            let slot = dec.usize("DishBank free-list entry")?;
+            if slot >= n_slots || bank.live[slot] || seen[slot] {
+                return Err(SnapshotError::Malformed(format!(
+                    "DishBank free-list entry {slot} is out of range, live, \
+                     or duplicated"
+                )));
+            }
+            seen[slot] = true;
+            bank.free.push(slot);
+        }
+        for slot in 0..n_slots {
+            if bank.live[slot] {
+                bank.refresh_constants(slot);
+            }
+        }
+        Ok(bank)
+    }
+
     /// Absorb one observation into the dish at `slot` (O(d²) rank-1 update
     /// of both the factor and Ψ, plus an O(d) constants refresh). The factor
     /// path mirrors [`crate::NiwPosterior::add`] operation for operation.
@@ -1138,6 +1272,95 @@ mod tests {
             vec![0.3, 1.9],
             vec![-1.5, -0.9],
         ]
+    }
+
+    #[test]
+    fn bank_codec_roundtrip_is_bit_identical_and_normalizes_dead_slots() {
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let data = pts();
+        // Three slots: slot 0 with 2 points, slot 1 released (dead, stale
+        // contents), slot 2 with 3 points. The free-list holds slot 1.
+        let s0 = bank.alloc();
+        let s1 = bank.alloc();
+        let s2 = bank.alloc();
+        bank.add_obs(s0, &data[0]);
+        bank.add_obs(s0, &data[1]);
+        bank.add_obs(s1, &data[2]);
+        bank.release(s1);
+        for x in &data[2..] {
+            bank.add_obs(s2, x);
+        }
+
+        let mut enc = crate::snapshot::Enc::new();
+        bank.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut dec = crate::snapshot::Dec::new(&bytes);
+        let mut bank2 = DishBank::decode_from(&mut dec, &p).unwrap();
+        dec.finish("bank").unwrap();
+
+        assert_eq!(bank2.n_slots(), 3);
+        assert_eq!(bank2.n_live(), 2);
+        assert!(!bank2.is_live(s1));
+        // Predictives over the decoded bank are bit-identical.
+        let probe = [0.4, -0.2];
+        for slot in [s0, s2] {
+            assert_eq!(
+                bank.predictive_one(slot, &probe).to_bits(),
+                bank2.predictive_one(slot, &probe).to_bits()
+            );
+        }
+        let refs: Vec<&[f64]> = data.iter().map(Vec::as_slice).collect();
+        assert_eq!(
+            bank.block_predictive(s0, &refs).to_bits(),
+            bank2.block_predictive(s0, &refs).to_bits()
+        );
+
+        // Re-encode is byte-identical even though the source bank carried
+        // stale bits in the dead slot and the decoded one carries zeros.
+        let mut enc2 = crate::snapshot::Enc::new();
+        bank2.encode_into(&mut enc2);
+        assert_eq!(bytes, enc2.into_bytes());
+
+        // Allocation replays deterministically: both banks hand out the
+        // freed slot next.
+        assert_eq!(bank.alloc(), bank2.alloc());
+    }
+
+    #[test]
+    fn bank_codec_rejects_dimension_mismatch_and_bad_free_list() {
+        let p = params2();
+        let mut bank = DishBank::new(&p);
+        let s = bank.alloc();
+        bank.add_obs(s, &pts()[0]);
+        let mut enc = crate::snapshot::Enc::new();
+        bank.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+
+        // Dimension disagreement with the caller's prior is typed.
+        let p3 = NiwParams::new(vec![0.0; 3], 1.0, 5.0, Matrix::identity(3)).unwrap();
+        let mut dec = crate::snapshot::Dec::new(&bytes);
+        assert!(matches!(
+            DishBank::decode_from(&mut dec, &p3),
+            Err(crate::snapshot::SnapshotError::DimensionMismatch {
+                expected: 3,
+                got: 2
+            })
+        ));
+
+        // A free-list pointing at a live slot is rejected, not trusted.
+        let mut tampered = bytes.clone();
+        let len = tampered.len();
+        // Overwrite the trailing free-list count (0) with 1 plus a bogus
+        // entry naming the live slot 0.
+        tampered[len - 8..].copy_from_slice(&1u64.to_le_bytes());
+        tampered.extend_from_slice(&0u64.to_le_bytes());
+        let mut dec = crate::snapshot::Dec::new(&tampered);
+        assert!(matches!(
+            DishBank::decode_from(&mut dec, &p),
+            Err(crate::snapshot::SnapshotError::Malformed(_))
+        ));
     }
 
     #[test]

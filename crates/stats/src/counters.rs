@@ -37,6 +37,17 @@ pub const PREDICTIVE_NS: &str = "stats.predictive_ns";
 pub const SERVE_RETRIES: &str = "serving.retries";
 /// Registry name of the degraded-batch counter.
 pub const DEGRADED_BATCHES: &str = "serving.degraded_batches";
+/// Registry name of the durable-snapshot save counter.
+pub const SNAPSHOT_SAVES: &str = "snapshot.saves";
+/// Registry name of the durable-snapshot load counter (successful decodes).
+pub const SNAPSHOT_LOADS: &str = "snapshot.loads";
+/// Registry name of the durable-snapshot load-failure counter (typed decode
+/// or I/O errors surfaced to the caller).
+pub const SNAPSHOT_LOAD_FAILURES: &str = "snapshot.load_failures";
+/// Registry name of the durable-recovery counter (batches answered by
+/// reloading the last-good on-disk snapshot after in-memory state was lost
+/// or rejected).
+pub const DURABLE_RECOVERIES: &str = "serving.durable_recoveries";
 
 fn handle(cell: &'static OnceLock<Counter>, name: &str) -> &'static Counter {
     cell.get_or_init(|| global().counter(name))
@@ -70,6 +81,26 @@ fn retries_handle() -> &'static Counter {
 fn degraded_handle() -> &'static Counter {
     static CELL: OnceLock<Counter> = OnceLock::new();
     handle(&CELL, DEGRADED_BATCHES)
+}
+
+fn snapshot_saves_handle() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    handle(&CELL, SNAPSHOT_SAVES)
+}
+
+fn snapshot_loads_handle() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    handle(&CELL, SNAPSHOT_LOADS)
+}
+
+fn snapshot_load_failures_handle() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    handle(&CELL, SNAPSHOT_LOAD_FAILURES)
+}
+
+fn durable_recoveries_handle() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    handle(&CELL, DURABLE_RECOVERIES)
 }
 
 #[inline]
@@ -134,6 +165,51 @@ pub fn record_degraded_batch() {
 /// Total batches answered via degraded frozen inference since process start.
 pub fn degraded_batches() -> u64 {
     degraded_handle().get()
+}
+
+/// Record one durable snapshot persisted to disk.
+#[inline]
+pub fn record_snapshot_save() {
+    snapshot_saves_handle().inc();
+}
+
+/// Total durable snapshot saves since process start.
+pub fn snapshot_saves() -> u64 {
+    snapshot_saves_handle().get()
+}
+
+/// Record one durable snapshot successfully loaded and decoded.
+#[inline]
+pub fn record_snapshot_load() {
+    snapshot_loads_handle().inc();
+}
+
+/// Total successful durable snapshot loads since process start.
+pub fn snapshot_loads() -> u64 {
+    snapshot_loads_handle().get()
+}
+
+/// Record one durable snapshot load that failed with a typed error.
+#[inline]
+pub fn record_snapshot_load_failure() {
+    snapshot_load_failures_handle().inc();
+}
+
+/// Total durable snapshot load failures since process start.
+pub fn snapshot_load_failures() -> u64 {
+    snapshot_load_failures_handle().get()
+}
+
+/// Record one batch answered by recovering the model from the last-good
+/// on-disk snapshot.
+#[inline]
+pub fn record_durable_recovery() {
+    durable_recoveries_handle().inc();
+}
+
+/// Total durable recoveries since process start.
+pub fn durable_recoveries() -> u64 {
+    durable_recoveries_handle().get()
 }
 
 #[cfg(test)]

@@ -44,6 +44,11 @@ pub enum Fault {
     Diverge,
     /// Sleep for the given number of milliseconds (exercises deadlines).
     DelayMs(u64),
+    /// Corrupt the site's data in a deterministic way: a snapshot save
+    /// aborts after partially writing its temp file (a simulated mid-save
+    /// crash), a snapshot load flips a payload byte, a checksum
+    /// verification reports a false mismatch.
+    Corrupt,
 }
 
 /// A fault bound to a site, optionally pinned to a batch and attempt.
@@ -104,6 +109,16 @@ pub mod sites {
     /// Inside a baseline serve adapter's `finish`, before the per-point
     /// predictions are computed (`osr-baselines`' `CollectiveModel` impl).
     pub const BASELINE_CLASSIFY: &str = "baseline::classify";
+    /// Inside `SnapshotStore::save`, after the temp file is written but
+    /// before the atomic rename (a `Corrupt` here simulates a mid-save
+    /// crash: the temp file is truncated and the rename never happens).
+    pub const SNAPSHOT_SAVE: &str = "snapshot::save";
+    /// Inside `SnapshotStore::load`, after the file's bytes are read but
+    /// before decoding (a `Corrupt` here flips one payload byte).
+    pub const SNAPSHOT_LOAD: &str = "snapshot::load";
+    /// Inside the snapshot container's per-section CRC verification (a
+    /// `Corrupt` here falsifies the computed checksum).
+    pub const SNAPSHOT_CHECKSUM: &str = "snapshot::checksum";
 }
 
 static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);

@@ -28,6 +28,9 @@
 //!   by named metrics in the [`metrics`] registry,
 //! * [`diagnostics`] — MCMC convergence diagnostics (split-R̂, effective
 //!   sample size, burn-in recommendation) over per-sweep scalar traces,
+//! * [`snapshot`] — the deterministic, versioned, CRC-checked snapshot
+//!   container format (byte codec, writer/reader, typed corruption errors)
+//!   that durable posterior checkpoints are written in,
 //! * [`divergence`] — the thread-local numerical-divergence flag polled by
 //!   the serving watchdog,
 //! * [`faults`] — the deterministic fault-injection harness (only with the
@@ -47,11 +50,13 @@ pub mod metrics;
 pub mod mvn;
 pub mod niw;
 pub mod sampling;
+pub mod snapshot;
 pub mod special;
 pub mod weibull;
 
 pub use bank::{BlockStats, DishBank, Slot};
 pub use niw::{factor_spd_with_jitter, NiwParams, NiwPosterior};
+pub use snapshot::{SnapshotError, SNAPSHOT_FORMAT_VERSION};
 pub use weibull::{Weibull, WeibullFit};
 
 /// Errors produced by the statistical routines.

@@ -99,6 +99,40 @@ impl NiwParams {
     pub(crate) fn log_det_psi0(&self) -> f64 {
         self.log_det_psi0
     }
+
+    /// Append the canonical state (μ₀, κ₀, ν₀, dense Ψ₀) to a snapshot
+    /// payload. The cached factor and log-determinant are *not* written:
+    /// [`Self::decode_from`] rebuilds them through the exact
+    /// [`NiwParams::new`] sequence, so the round trip is bit-identical.
+    pub fn encode_into(&self, enc: &mut crate::snapshot::Enc) {
+        enc.put_usize(self.dim());
+        enc.put_f64_slice(&self.mu0);
+        enc.put_f64(self.kappa0);
+        enc.put_f64(self.nu0);
+        enc.put_f64_slice(self.psi0.as_slice());
+    }
+
+    /// Decode hyperparameters written by [`Self::encode_into`], revalidating
+    /// them exactly as [`NiwParams::new`] does.
+    ///
+    /// # Errors
+    /// Typed [`crate::snapshot::SnapshotError`] on truncation or on values
+    /// that fail the constructor's validation.
+    pub fn decode_from(
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> crate::snapshot::SnapResult<Self> {
+        use crate::snapshot::SnapshotError;
+        let d = dec.count(8, "NiwParams dim")?;
+        let mu0 = dec.f64_vec(d, "NiwParams mu0")?;
+        let kappa0 = dec.f64("NiwParams kappa0")?;
+        let nu0 = dec.f64("NiwParams nu0")?;
+        let dd = d.checked_mul(d).ok_or_else(|| {
+            SnapshotError::Malformed(format!("NiwParams dim {d} overflows"))
+        })?;
+        let psi0 = Matrix::from_vec(d, d, dec.f64_vec(dd, "NiwParams psi0")?);
+        Self::new(mu0, kappa0, nu0, psi0)
+            .map_err(|e| SnapshotError::Malformed(format!("NiwParams: {e}")))
+    }
 }
 
 /// NIW posterior state after absorbing `n ≥ 0` observations.
@@ -135,6 +169,68 @@ impl NiwPosterior {
             post.add(p);
         }
         post
+    }
+
+    /// Append the canonical state (n, κₙ, νₙ, μₙ, and the lower-triangular
+    /// Cholesky factor L of Ψₙ, row-major) to a snapshot payload. The
+    /// factor is the maintained representation — serializing L itself (not a
+    /// reconstructed dense Ψₙ) is what makes save→load→re-save bit-identical.
+    pub fn encode_into(&self, enc: &mut crate::snapshot::Enc) {
+        let d = self.dim();
+        enc.put_usize(d);
+        enc.put_usize(self.n);
+        enc.put_f64(self.kappa);
+        enc.put_f64(self.nu);
+        enc.put_f64_slice(&self.mu);
+        let l = self.psi_chol.factor_l();
+        for i in 0..d {
+            for j in 0..=i {
+                enc.put_f64(l[(i, j)]);
+            }
+        }
+    }
+
+    /// Decode a posterior written by [`Self::encode_into`].
+    ///
+    /// # Errors
+    /// Typed [`crate::snapshot::SnapshotError`] on truncation or on a factor
+    /// whose diagonal is not finite and positive.
+    pub fn decode_from(
+        dec: &mut crate::snapshot::Dec<'_>,
+    ) -> crate::snapshot::SnapResult<Self> {
+        use crate::snapshot::SnapshotError;
+        let d = dec.count(8, "NiwPosterior dim")?;
+        let n = dec.usize("NiwPosterior n")?;
+        let kappa = dec.f64("NiwPosterior kappa")?;
+        let nu = dec.f64("NiwPosterior nu")?;
+        let mu = dec.f64_vec(d, "NiwPosterior mu")?;
+        let mut l = Matrix::zeros(d, d);
+        for i in 0..d {
+            for j in 0..=i {
+                l[(i, j)] = dec.f64("NiwPosterior chol")?;
+            }
+        }
+        for i in 0..d {
+            let diag = l[(i, i)];
+            if !(diag.is_finite() && diag > 0.0) {
+                return Err(SnapshotError::Malformed(format!(
+                    "NiwPosterior: Cholesky diagonal [{i}] = {diag} is not \
+                     finite and positive"
+                )));
+            }
+        }
+        if !(kappa.is_finite() && kappa > 0.0 && nu.is_finite()) {
+            return Err(SnapshotError::Malformed(format!(
+                "NiwPosterior: kappa = {kappa}, nu = {nu} out of domain"
+            )));
+        }
+        Ok(Self {
+            n,
+            kappa,
+            nu,
+            mu,
+            psi_chol: Cholesky::from_factor(l),
+        })
     }
 
     /// Number of absorbed observations.
@@ -364,6 +460,70 @@ mod tests {
             vec![0.3, 1.9],
             vec![-1.5, -0.9],
         ]
+    }
+
+    #[test]
+    fn params_codec_roundtrip_is_bit_identical() {
+        let p = params2();
+        let mut enc = crate::snapshot::Enc::new();
+        p.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut dec = crate::snapshot::Dec::new(&bytes);
+        let p2 = NiwParams::decode_from(&mut dec).unwrap();
+        dec.finish("params").unwrap();
+        assert_eq!(p.mu0, p2.mu0);
+        assert_eq!(p.kappa0.to_bits(), p2.kappa0.to_bits());
+        assert_eq!(p.log_det_psi0.to_bits(), p2.log_det_psi0.to_bits());
+
+        let mut enc2 = crate::snapshot::Enc::new();
+        p2.encode_into(&mut enc2);
+        assert_eq!(bytes, enc2.into_bytes(), "re-encode must be byte-identical");
+    }
+
+    #[test]
+    fn posterior_codec_roundtrip_is_bit_identical() {
+        let p = params2();
+        let pts = pts();
+        let refs: Vec<&[f64]> = pts.iter().map(Vec::as_slice).collect();
+        let post = NiwPosterior::from_points(&p, &refs);
+
+        let mut enc = crate::snapshot::Enc::new();
+        post.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut dec = crate::snapshot::Dec::new(&bytes);
+        let post2 = NiwPosterior::decode_from(&mut dec).unwrap();
+        dec.finish("posterior").unwrap();
+        assert_eq!(post.n, post2.n);
+        // Predictives are pure functions of the decoded state: bit-equal.
+        let x = [0.4, -0.2];
+        assert_eq!(
+            post.predictive_logpdf(&x).to_bits(),
+            post2.predictive_logpdf(&x).to_bits()
+        );
+
+        let mut enc2 = crate::snapshot::Enc::new();
+        post2.encode_into(&mut enc2);
+        assert_eq!(bytes, enc2.into_bytes(), "re-encode must be byte-identical");
+    }
+
+    #[test]
+    fn posterior_decode_rejects_bad_factor_diagonal() {
+        let p = params2();
+        let post = NiwPosterior::from_prior(&p);
+        let mut enc = crate::snapshot::Enc::new();
+        post.encode_into(&mut enc);
+        let mut bytes = enc.into_bytes();
+        // The first factor entry L[(0,0)] sits after dim + n + kappa + nu +
+        // mu[2], i.e. 8 * 6 bytes in. Overwrite it with -1.0.
+        let off = 8 * 6;
+        bytes[off..off + 8].copy_from_slice(&(-1.0f64).to_le_bytes());
+        let mut dec = crate::snapshot::Dec::new(&bytes);
+        assert!(matches!(
+            NiwPosterior::decode_from(&mut dec),
+            Err(crate::snapshot::SnapshotError::Malformed(_))
+        ));
     }
 
     #[test]

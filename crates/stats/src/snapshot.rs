@@ -1,0 +1,688 @@
+//! Deterministic, versioned, checksummed snapshot container — the wire
+//! format every durable posterior checkpoint is written in.
+//!
+//! The container is deliberately boring: a fixed preamble followed by
+//! length-prefixed, individually CRC-32-checked sections. Every number is
+//! little-endian; every `f64` travels as its exact IEEE-754 bit pattern
+//! ([`f64::to_bits`]), so encoding is a *pure function of canonical state* —
+//! no wall clock, no pointer-dependent ordering, no float formatting. That
+//! purity is what the round-trip gate relies on: save → load → re-save is
+//! byte-identical, and two replicas loading the same file hold bit-identical
+//! posteriors.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic              8 bytes   b"OSRSNAP\0"
+//! format version     u32       SNAPSHOT_FORMAT_VERSION
+//! dim                u32       feature dimension of the model
+//! method tag         u16 len + UTF-8 bytes (e.g. "cdosr")
+//! section count      u32
+//! header CRC-32      u32       over every preceding byte
+//! per section:
+//!   section id       u32
+//!   payload length   u64
+//!   section CRC-32   u32       over id ‖ length ‖ payload
+//!   payload          length bytes
+//! ```
+//!
+//! The preamble layout (through the header CRC) is frozen across format
+//! versions, so a reader can always distinguish "future version"
+//! ([`SnapshotError::VersionSkew`]) from "bit rot" (the header CRC fails
+//! first). Loading never panics: truncation, bit-flips, version skew, and
+//! shape mismatches each map to a typed [`SnapshotError`].
+
+use std::fmt;
+
+/// Current snapshot container format version. Bump on any layout change;
+/// readers reject every other version with [`SnapshotError::VersionSkew`].
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// The 8-byte file magic.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"OSRSNAP\0";
+
+/// Pseudo section id reported when the *header* checksum fails.
+pub const HEADER_SECTION: u32 = u32::MAX;
+
+/// Typed failure of snapshot encoding, decoding, or persistence. Never a
+/// panic: every corruption mode a disk or a truncated copy can produce has
+/// a variant, so callers can log precisely and fall back to last-good state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The file does not start with [`SNAPSHOT_MAGIC`] — not a snapshot.
+    BadMagic,
+    /// The file's format version is not the one this build reads.
+    VersionSkew {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build supports ([`SNAPSHOT_FORMAT_VERSION`]).
+        supported: u32,
+    },
+    /// The byte stream ended before a declared structure was complete.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+        /// Bytes the structure required.
+        expected: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// A CRC-32 mismatch: the bytes of `section` were altered after writing
+    /// ([`HEADER_SECTION`] means the preamble itself).
+    ChecksumMismatch {
+        /// Section id whose checksum failed.
+        section: u32,
+    },
+    /// The snapshot's feature dimension does not match the consumer's.
+    DimensionMismatch {
+        /// Dimension the consumer expects.
+        expected: usize,
+        /// Dimension the snapshot carries.
+        got: usize,
+    },
+    /// The snapshot was written by a different method than the consumer.
+    MethodMismatch {
+        /// Method tag the consumer expects.
+        expected: String,
+        /// Method tag the snapshot carries.
+        got: String,
+    },
+    /// A section the decoder requires is absent.
+    MissingSection {
+        /// The absent section's id.
+        section: u32,
+    },
+    /// Structurally invalid payload (checksums passed, but the decoded
+    /// values violate a model invariant — message explains).
+    Malformed(String),
+    /// An I/O failure while persisting or reading (message carries the
+    /// OS error; stored as a string so the error stays `Clone + PartialEq`).
+    Io(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            Self::VersionSkew { found, supported } => {
+                write!(f, "snapshot format version {found} is not supported (this build reads version {supported})")
+            }
+            Self::Truncated { context, expected, got } => {
+                write!(f, "snapshot truncated reading {context}: needed {expected} byte(s), had {got}")
+            }
+            Self::ChecksumMismatch { section } if *section == HEADER_SECTION => {
+                write!(f, "snapshot header checksum mismatch (corrupted preamble)")
+            }
+            Self::ChecksumMismatch { section } => {
+                write!(f, "snapshot section {section} checksum mismatch (corrupted payload)")
+            }
+            Self::DimensionMismatch { expected, got } => {
+                write!(f, "snapshot dimension {got} does not match the expected dimension {expected}")
+            }
+            Self::MethodMismatch { expected, got } => {
+                write!(f, "snapshot was written by method `{got}`, expected `{expected}`")
+            }
+            Self::MissingSection { section } => {
+                write!(f, "snapshot lacks required section {section}")
+            }
+            Self::Malformed(msg) => write!(f, "malformed snapshot payload: {msg}"),
+            Self::Io(msg) => write!(f, "snapshot I/O failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Crate-internal result alias for snapshot codecs.
+pub type SnapResult<T> = std::result::Result<T, SnapshotError>;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes` — the checksum stamped on every section.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_parts(&[bytes])
+}
+
+/// CRC-32 over the concatenation of `parts` without materializing it —
+/// used to stamp a section's id and length together with its payload, so a
+/// bit-flip in the section framing is caught exactly like one in the data.
+fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &b in *part {
+            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoder / decoder
+// ---------------------------------------------------------------------------
+
+/// Append-only little-endian encoder for section payloads. Infallible: it
+/// only grows a buffer.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Fresh empty payload buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64` (the format is 64-bit on every host).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append an `f64` as its exact bit pattern, little-endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a slice of `f64`s (length is *not* written; callers prefix it
+    /// explicitly where the length is not implied by earlier fields).
+    pub fn put_f64_slice(&mut self, vs: &[f64]) {
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
+    /// Append a bool as one strict `0`/`1` byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Append a length-prefixed UTF-8 string (u16 length).
+    pub fn put_str(&mut self, s: &str) {
+        let len = s.len().min(u16::MAX as usize) as u16;
+        self.buf.extend_from_slice(&len.to_le_bytes());
+        self.buf.extend_from_slice(&s.as_bytes()[..len as usize]);
+    }
+}
+
+/// Bounds-checked little-endian cursor over a section payload. Every read
+/// that would run past the end returns [`SnapshotError::Truncated`] instead
+/// of panicking.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Cursor over `buf`, positioned at its start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take the next `n` bytes, or a typed truncation error.
+    pub fn take(&mut self, n: usize, context: &'static str) -> SnapResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated {
+                context,
+                expected: n,
+                got: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, context: &'static str) -> SnapResult<u8> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, context: &'static str) -> SnapResult<u32> {
+        let b = self.take(4, context)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, context: &'static str) -> SnapResult<u64> {
+        let b = self.take(8, context)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Read a `u64` and narrow it to `usize`, rejecting values the host
+    /// cannot index.
+    pub fn usize(&mut self, context: &'static str) -> SnapResult<usize> {
+        let v = self.u64(context)?;
+        usize::try_from(v).map_err(|_| {
+            SnapshotError::Malformed(format!("{context}: count {v} exceeds the host's usize"))
+        })
+    }
+
+    /// Read a `usize` that prefixes per-element payloads of `elem_bytes`
+    /// bytes each: the declared count must fit in the remaining buffer, so a
+    /// corrupted length cannot provoke a huge allocation before the
+    /// element reads fail.
+    pub fn count(&mut self, elem_bytes: usize, context: &'static str) -> SnapResult<usize> {
+        let n = self.usize(context)?;
+        let need = n.checked_mul(elem_bytes.max(1)).ok_or_else(|| {
+            SnapshotError::Malformed(format!("{context}: count {n} overflows"))
+        })?;
+        if need > self.remaining() {
+            return Err(SnapshotError::Truncated {
+                context,
+                expected: need,
+                got: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Read an `f64` from its exact bit pattern.
+    pub fn f64(&mut self, context: &'static str) -> SnapResult<f64> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Read `n` `f64`s into a fresh vector.
+    pub fn f64_vec(&mut self, n: usize, context: &'static str) -> SnapResult<Vec<f64>> {
+        let bytes = self.take(n.checked_mul(8).ok_or_else(|| {
+            SnapshotError::Malformed(format!("{context}: length {n} overflows"))
+        })?, context)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| {
+                let mut a = [0u8; 8];
+                a.copy_from_slice(c);
+                f64::from_bits(u64::from_le_bytes(a))
+            })
+            .collect())
+    }
+
+    /// Read a strict `0`/`1` bool byte.
+    pub fn bool(&mut self, context: &'static str) -> SnapResult<bool> {
+        match self.u8(context)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapshotError::Malformed(format!(
+                "{context}: byte {other} is not a bool"
+            ))),
+        }
+    }
+
+    /// Read a u16-length-prefixed UTF-8 string.
+    pub fn str(&mut self, context: &'static str) -> SnapResult<String> {
+        let b = self.take(2, context)?;
+        let len = u16::from_le_bytes([b[0], b[1]]) as usize;
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Malformed(format!("{context}: invalid UTF-8")))
+    }
+
+    /// Require the payload to be fully consumed — trailing bytes mean the
+    /// writer and reader disagree about the section's shape.
+    pub fn finish(&self, context: &'static str) -> SnapResult<()> {
+        if self.remaining() != 0 {
+            return Err(SnapshotError::Malformed(format!(
+                "{context}: {} trailing byte(s) after the declared payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container writer / reader
+// ---------------------------------------------------------------------------
+
+/// Assembles a snapshot container: preamble plus CRC-stamped sections, in
+/// the order the caller adds them (which the caller must keep deterministic
+/// — section order is part of the byte contract).
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    version: u32,
+    method: String,
+    dim: usize,
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// Writer for the current [`SNAPSHOT_FORMAT_VERSION`].
+    pub fn new(method: &str, dim: usize) -> Self {
+        Self::with_version(SNAPSHOT_FORMAT_VERSION, method, dim)
+    }
+
+    /// Writer stamping an explicit format version — exists so compatibility
+    /// tests can fabricate future-version headers; production code uses
+    /// [`SnapshotWriter::new`].
+    pub fn with_version(version: u32, method: &str, dim: usize) -> Self {
+        Self { version, method: method.to_string(), dim, sections: Vec::new() }
+    }
+
+    /// Append one section. Ids must be unique within a container.
+    pub fn section(&mut self, id: u32, payload: Vec<u8>) {
+        debug_assert!(
+            self.sections.iter().all(|(existing, _)| *existing != id),
+            "duplicate snapshot section id {id}"
+        );
+        self.sections.push((id, payload));
+    }
+
+    /// Serialize the container to its canonical byte form.
+    pub fn finish(self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&(self.dim as u32).to_le_bytes());
+        let tag_len = self.method.len().min(u16::MAX as usize) as u16;
+        out.extend_from_slice(&tag_len.to_le_bytes());
+        out.extend_from_slice(&self.method.as_bytes()[..tag_len as usize]);
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        let header_crc = crc32(&out);
+        out.extend_from_slice(&header_crc.to_le_bytes());
+        for (id, payload) in &self.sections {
+            let id_bytes = id.to_le_bytes();
+            let len_bytes = (payload.len() as u64).to_le_bytes();
+            // The section CRC covers the framing (id, length) and the
+            // payload, so a flipped framing byte is caught like any other.
+            let crc = crc32_parts(&[&id_bytes, &len_bytes, payload]);
+            out.extend_from_slice(&id_bytes);
+            out.extend_from_slice(&len_bytes);
+            out.extend_from_slice(&crc.to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+}
+
+/// A parsed, integrity-verified snapshot container. Parsing validates the
+/// magic, the format version, the header CRC, every section's bounds, and
+/// every section's CRC up front — a [`SnapshotFile`] in hand means the raw
+/// bytes are exactly what some writer produced.
+#[derive(Debug)]
+pub struct SnapshotFile<'a> {
+    version: u32,
+    method: String,
+    dim: usize,
+    sections: Vec<(u32, &'a [u8])>,
+}
+
+impl<'a> SnapshotFile<'a> {
+    /// Parse and verify `bytes`.
+    ///
+    /// # Errors
+    /// Typed [`SnapshotError`] for every corruption mode: bad magic,
+    /// truncation anywhere, header or section checksum mismatch, and
+    /// version skew. Never panics.
+    pub fn parse(bytes: &'a [u8]) -> SnapResult<Self> {
+        let mut dec = Dec::new(bytes);
+        let magic = dec.take(8, "magic")?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = dec.u32("format version")?;
+        let dim = dec.u32("dim")? as usize;
+        let method = dec.str("method tag")?;
+        let n_sections = dec.u32("section count")?;
+        // The header CRC covers every preamble byte before it. Verify it
+        // before trusting the version: a bit-flip in the preamble reads as
+        // corruption, a valid CRC with a different version as skew.
+        let header_end = dec.pos;
+        let header_crc = dec.u32("header checksum")?;
+        if crc32(&bytes[..header_end]) != header_crc {
+            return Err(SnapshotError::ChecksumMismatch { section: HEADER_SECTION });
+        }
+        if version != SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError::VersionSkew {
+                found: version,
+                supported: SNAPSHOT_FORMAT_VERSION,
+            });
+        }
+        let mut sections = Vec::with_capacity(n_sections as usize);
+        for _ in 0..n_sections {
+            let id = dec.u32("section id")?;
+            let len = dec.usize("section length")?;
+            let crc = dec.u32("section checksum")?;
+            let payload = dec.take(len, "section payload")?;
+            let computed = crc32_parts(&[
+                &id.to_le_bytes(),
+                &(len as u64).to_le_bytes(),
+                payload,
+            ]);
+            // Deterministically falsify this section's verification — the
+            // injected equivalent of a bit-flip the CRC catches.
+            #[cfg(feature = "fault-inject")]
+            let computed = if crate::faults::hit(crate::faults::sites::SNAPSHOT_CHECKSUM)
+                == Some(crate::faults::Fault::Corrupt)
+            {
+                !computed
+            } else {
+                computed
+            };
+            if computed != crc {
+                return Err(SnapshotError::ChecksumMismatch { section: id });
+            }
+            sections.push((id, payload));
+        }
+        dec.finish("container")?;
+        Ok(Self { version, method, dim, sections })
+    }
+
+    /// The container's format version (always [`SNAPSHOT_FORMAT_VERSION`]
+    /// after a successful parse).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The writer's method tag (e.g. `"cdosr"`).
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// The model's feature dimension as stamped in the header.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of sections present.
+    pub fn n_sections(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// The verified payload of section `id`.
+    ///
+    /// # Errors
+    /// [`SnapshotError::MissingSection`] when absent.
+    pub fn section(&self, id: u32) -> SnapResult<&'a [u8]> {
+        self.sections
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, payload)| *payload)
+            .ok_or(SnapshotError::MissingSection { section: id })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn sample_container() -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.put_f64(1.5);
+        enc.put_usize(7);
+        enc.put_bool(true);
+        enc.put_str("hello");
+        let mut w = SnapshotWriter::new("cdosr", 16);
+        w.section(1, enc.into_bytes());
+        w.section(2, vec![9, 9, 9]);
+        w.finish()
+    }
+
+    #[test]
+    fn container_roundtrip_and_determinism() {
+        let a = sample_container();
+        let b = sample_container();
+        assert_eq!(a, b, "encoding must be a pure function of its inputs");
+        let file = SnapshotFile::parse(&a).unwrap();
+        assert_eq!(file.version(), SNAPSHOT_FORMAT_VERSION);
+        assert_eq!(file.method(), "cdosr");
+        assert_eq!(file.dim(), 16);
+        assert_eq!(file.n_sections(), 2);
+        let mut dec = Dec::new(file.section(1).unwrap());
+        assert_eq!(dec.f64("x").unwrap(), 1.5);
+        assert_eq!(dec.usize("n").unwrap(), 7);
+        assert!(dec.bool("b").unwrap());
+        assert_eq!(dec.str("s").unwrap(), "hello");
+        dec.finish("payload").unwrap();
+        assert_eq!(file.section(2).unwrap(), &[9, 9, 9]);
+        assert!(matches!(file.section(3), Err(SnapshotError::MissingSection { section: 3 })));
+    }
+
+    #[test]
+    fn every_truncation_is_typed() {
+        let full = sample_container();
+        for len in 0..full.len() {
+            let err = SnapshotFile::parse(&full[..len])
+                .err()
+                .unwrap_or_else(|| panic!("prefix of {len} bytes parsed"));
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. }
+                        | SnapshotError::BadMagic
+                        | SnapshotError::ChecksumMismatch { .. }
+                        | SnapshotError::Malformed(_)
+                ),
+                "prefix {len}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let full = sample_container();
+        for byte in 0..full.len() {
+            let mut corrupt = full.clone();
+            corrupt[byte] ^= 0x40;
+            assert!(
+                SnapshotFile::parse(&corrupt).is_err(),
+                "bit flip at byte {byte} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn future_version_reads_as_skew_not_corruption() {
+        let mut w = SnapshotWriter::with_version(SNAPSHOT_FORMAT_VERSION + 1, "cdosr", 4);
+        w.section(1, vec![1, 2, 3]);
+        let bytes = w.finish();
+        assert_eq!(
+            SnapshotFile::parse(&bytes).err().unwrap(),
+            SnapshotError::VersionSkew {
+                found: SNAPSHOT_FORMAT_VERSION + 1,
+                supported: SNAPSHOT_FORMAT_VERSION,
+            }
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_its_own_error() {
+        let mut bytes = sample_container();
+        bytes[0] = b'X';
+        assert_eq!(SnapshotFile::parse(&bytes).err().unwrap(), SnapshotError::BadMagic);
+    }
+
+    #[test]
+    fn corrupt_length_cannot_demand_absurd_allocation() {
+        let mut enc = Enc::new();
+        enc.put_usize(usize::MAX / 2); // a count with no payload behind it
+        let payload = enc.into_bytes();
+        let mut dec = Dec::new(&payload);
+        assert!(matches!(
+            dec.count(8, "items"),
+            Err(SnapshotError::Truncated { .. } | SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let dec = Dec::new(&[1, 2, 3]);
+        assert!(matches!(dec.finish("p"), Err(SnapshotError::Malformed(_))));
+    }
+
+    #[test]
+    fn errors_render_without_panicking() {
+        for e in [
+            SnapshotError::BadMagic,
+            SnapshotError::VersionSkew { found: 9, supported: 1 },
+            SnapshotError::Truncated { context: "x", expected: 8, got: 2 },
+            SnapshotError::ChecksumMismatch { section: HEADER_SECTION },
+            SnapshotError::ChecksumMismatch { section: 3 },
+            SnapshotError::DimensionMismatch { expected: 16, got: 4 },
+            SnapshotError::MethodMismatch { expected: "cdosr".into(), got: "osnn".into() },
+            SnapshotError::MissingSection { section: 5 },
+            SnapshotError::Malformed("msg".into()),
+            SnapshotError::Io("disk gone".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -55,6 +55,13 @@ cargo test -q -p osr-baselines
 cargo test -q -p osr-baselines --features fault-inject
 cargo test -q -p osr-eval
 
+# Durable snapshots: round-trip byte identity, the corruption taxonomy
+# (truncation / bit flips / version skew → typed errors, never a panic),
+# and the replica-fleet byte-identity suite — under both feature sets,
+# since the snapshot fault sites sit on the save/load path.
+cargo test -q --test snapshot_persistence
+cargo test -q --features fault-inject --test snapshot_persistence
+
 # Bench-schema staleness: the committed serving benchmark report must carry
 # the kernel-invocation counters the SoA refactor added (PR 6) and the
 # method tag + serve counters of the method-agnostic schema (v2). A missing
@@ -65,6 +72,16 @@ for field in one_vs_all_kernels_per_batch batch_vs_one_kernels_per_batch \
     if ! grep -q "\"$field\"" BENCH_serving.json; then
         echo "verify: FAIL — BENCH_serving.json lacks '$field'; the report is stale," >&2
         echo "        regenerate with: cargo bench -p osr-bench --bench serving" >&2
+        exit 1
+    fi
+done
+
+# Same staleness gate for the snapshot persistence report (save/load
+# latency and bytes-on-disk vs. posterior size).
+for field in schema n_dishes bytes_on_disk save_median_us load_median_us; do
+    if ! grep -q "\"$field\"" BENCH_snapshot.json; then
+        echo "verify: FAIL — BENCH_snapshot.json lacks '$field'; the report is stale," >&2
+        echo "        regenerate with: cargo bench -p osr-bench --bench snapshot" >&2
         exit 1
     fi
 done
@@ -89,4 +106,27 @@ if ! diff <(tail -n +2 results/trace_verify_a.jsonl) \
     exit 1
 fi
 
-echo "verify: build + tests + clippy + trace determinism green (default and fault-inject)"
+# Replica fleet: one snapshot file, three servers with different worker
+# counts. The binary itself asserts save → load → re-save byte identity and
+# writes the re-encoded container next to the snapshot; here we re-check
+# that on disk, demand every replica's stream byte-matches replica 0's, and
+# pin replica 0 to the committed golden (the same truth the golden-trace
+# suite serves, so a drift here is a snapshot-codec bug, not a new scene).
+./target/release/replica_fleet --seed 2026 --replicas 3 \
+    --snapshot results/replica_snapshot.bin --out-dir results
+if ! cmp -s results/replica_snapshot.bin results/replica_snapshot.bin.resaved; then
+    echo "verify: FAIL — re-saved snapshot container is not byte-identical" >&2
+    exit 1
+fi
+for r in 1 2; do
+    if ! diff -q "results/replica_${r}.jsonl" results/replica_0.jsonl; then
+        echo "verify: FAIL — replica ${r} trace stream diverged from replica 0" >&2
+        exit 1
+    fi
+done
+if ! diff results/replica_0.jsonl tests/goldens/replica_stream.jsonl; then
+    echo "verify: FAIL — replica stream drifted from tests/goldens/replica_stream.jsonl" >&2
+    exit 1
+fi
+
+echo "verify: build + tests + clippy + trace determinism + snapshot durability green (default and fault-inject)"

@@ -430,3 +430,159 @@ fn sweep_budget_exhaustion_degrades_mid_service() {
         assert_eq!(outcome.predictions.len(), batches[idx].len(), "batch {idx}");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Durable snapshot faults: mid-save crashes, in-flight load corruption, and
+// falsified checksums must surface as typed errors, keep the last-good file
+// authoritative, and leave the durable degrade rung serving where possible.
+// ---------------------------------------------------------------------------
+
+use hdp_osr::core::{CollectiveModel, SnapshotStore};
+
+/// A unique-per-test store path under the system temp directory.
+fn temp_snapshot_store(name: &str) -> SnapshotStore {
+    let dir = std::env::temp_dir().join(format!("osr_fault_snap_{}", std::process::id()));
+    SnapshotStore::new(dir.join(format!("{name}.bin")))
+}
+
+#[test]
+fn mid_save_crash_preserves_the_last_good_snapshot() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (model, _) = warm_model_and_batches();
+    let store = temp_snapshot_store("mid_save_crash");
+    store.save(&model).expect("healthy first save");
+    let last_good = store.load_bytes().expect("last-good bytes");
+
+    let saves_before = counters::snapshot_saves();
+    let _plan =
+        install(FaultPlan::new().inject(sites::SNAPSHOT_SAVE, None, None, Fault::Corrupt));
+    let err = store.save(&model).expect_err("the injected crash must abort the save");
+    assert!(
+        matches!(&err, OsrError::Snapshot(e) if e.to_string().contains("mid-save crash")),
+        "got {err:?}"
+    );
+    drop(_plan);
+
+    // The crash hit the temp file only: the last-good snapshot is untouched
+    // byte-for-byte and still loads into a servable model.
+    assert_eq!(store.load_bytes().unwrap(), last_good);
+    let reloaded = store.load().expect("last-good snapshot still loads");
+    assert_eq!(reloaded.dim(), model.dim());
+    assert_eq!(counters::snapshot_saves(), saves_before, "a failed save must not count");
+    let _ = std::fs::remove_file(store.path());
+}
+
+#[test]
+fn load_corruption_is_a_typed_error_and_never_a_panic() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (model, _) = warm_model_and_batches();
+    let store = temp_snapshot_store("load_corruption");
+    store.save(&model).expect("healthy save");
+
+    let failures_before = counters::snapshot_load_failures();
+    // The injected byte flip lands after the file is read, modelling
+    // in-flight corruption between disk and decoder; a section CRC (or a
+    // structural check downstream of it) must reject the container.
+    let _plan =
+        install(FaultPlan::new().inject(sites::SNAPSHOT_LOAD, None, None, Fault::Corrupt));
+    let err = store.load().expect_err("corrupted bytes must not decode");
+    assert!(matches!(err, OsrError::Snapshot(_)), "typed snapshot error, got {err:?}");
+    assert_eq!(counters::snapshot_load_failures(), failures_before + 1);
+    drop(_plan);
+
+    // With the fault cleared the same file loads cleanly: the corruption
+    // was injected in flight, not persisted.
+    store.load().expect("the on-disk file was never touched");
+    let _ = std::fs::remove_file(store.path());
+}
+
+#[test]
+fn falsified_checksum_is_reported_as_a_checksum_mismatch() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (model, _) = warm_model_and_batches();
+    let store = temp_snapshot_store("falsified_checksum");
+    store.save(&model).expect("healthy save");
+
+    let _plan =
+        install(FaultPlan::new().inject(sites::SNAPSHOT_CHECKSUM, None, None, Fault::Corrupt));
+    let err = store.load().expect_err("a falsified checksum must fail verification");
+    assert!(
+        matches!(
+            &err,
+            OsrError::Snapshot(hdp_osr::stats::snapshot::SnapshotError::ChecksumMismatch { .. })
+        ),
+        "got {err:?}"
+    );
+    let _ = std::fs::remove_file(store.path());
+}
+
+#[test]
+fn cold_model_divergence_recovers_from_the_durable_snapshot() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // The store holds a warm model's checkpoint; the *serving* model is
+    // cold-started, so it has no in-memory frozen fallback — before this PR
+    // its exhausted batches could only error out.
+    let (warm_model, batches) = warm_model_and_batches();
+    let store = Arc::new(temp_snapshot_store("durable_recovery"));
+    store.save(&warm_model).expect("healthy save");
+
+    let mut rng = StdRng::seed_from_u64(97);
+    let train = TrainSet {
+        class_ids: vec![1, 2],
+        classes: vec![blob(&mut rng, -6.0, 0.0, 40), blob(&mut rng, 6.0, 0.0, 40)],
+    };
+    let cold_config = HdpOsrConfig {
+        iterations: 10,
+        decision_sweeps: 3,
+        serving: ServingMode::ColdStart,
+        ..Default::default()
+    };
+    let cold_model = HdpOsr::fit(&cold_config, &train).expect("clean cold fit");
+
+    let recoveries_before = counters::durable_recoveries();
+    let degraded_before = counters::degraded_batches();
+    // Every attempt of batch 2 diverges; with no frozen fallback the degrade
+    // ladder's last rung reloads the durable snapshot and serves from it.
+    let _plan =
+        install(FaultPlan::new().inject(sites::ENGINE_SWEEP, Some(2), None, Fault::Diverge));
+    let results = BatchServer::with_workers(&cold_model, 2)
+        .with_snapshot_store(store.clone())
+        .classify_batches(&batches, SEED);
+
+    let outcome = results[2].as_ref().expect("durable recovery answers instead of erroring");
+    assert_eq!(
+        outcome.served_via,
+        ServedVia::Degraded { reason: DegradeReason::RetriesExhausted }
+    );
+    assert_eq!(outcome.attempts, 3, "all allowed attempts must be consumed first");
+    assert_eq!(counters::durable_recoveries() - recoveries_before, 1);
+    assert_eq!(counters::degraded_batches() - degraded_before, 1);
+
+    // The durable answer is exactly what the warm model's frozen fallback
+    // would have said: recovery reconstructs the same checkpoint.
+    let frozen = warm_model
+        .classify_frozen(&batches[2], DegradeReason::RetriesExhausted, 3)
+        .expect("warm model freezes");
+    assert_eq!(outcome.predictions, frozen.predictions);
+    assert_eq!(outcome.test_dishes, frozen.test_dishes);
+    assert_eq!(outcome.log_likelihood.to_bits(), frozen.log_likelihood.to_bits());
+
+    // Sibling batches still served full collective decisions.
+    for idx in [0usize, 1, 3] {
+        assert_eq!(results[idx].as_ref().unwrap().served_via, ServedVia::Cold, "batch {idx}");
+    }
+    drop(_plan);
+
+    // Without a usable snapshot the same failure surfaces as the typed
+    // divergence error — corrupted durable state must not panic the server.
+    let _ = std::fs::remove_file(store.path());
+    let _plan =
+        install(FaultPlan::new().inject(sites::ENGINE_SWEEP, Some(2), None, Fault::Diverge));
+    let results = BatchServer::with_workers(&cold_model, 2)
+        .with_snapshot_store(store.clone())
+        .classify_batches(&batches, SEED);
+    assert!(
+        matches!(results[2].as_ref().unwrap_err(), OsrError::Diverged { .. }),
+        "missing snapshot: degrade ladder exhausted, typed error"
+    );
+}

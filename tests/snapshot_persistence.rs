@@ -1,0 +1,304 @@
+//! Durable snapshot acceptance suite: round-trip byte identity, the
+//! corruption taxonomy, atomic last-good-wins persistence, and the
+//! replica-fleet byte-identity proof.
+//!
+//! The central claims under test:
+//!
+//! 1. **Round-trip determinism** — `save → load → re-save` reproduces the
+//!    container byte-for-byte, and a reloaded model serves bit-identically
+//!    to the model that wrote it.
+//! 2. **Corruption safety** — every way a snapshot file can rot
+//!    (truncation, bit-flips, version skew, foreign method, trailing
+//!    garbage) yields a typed [`SnapshotError`], never a panic.
+//! 3. **Fleet identity** — several `BatchServer` replicas loading the *same
+//!    snapshot file* and serving the same traffic emit byte-identical trace
+//!    streams (committed golden: `tests/goldens/replica_stream.jsonl`), and
+//!    partitioning the traffic across replicas reproduces the exact
+//!    outcomes of one replica serving everything.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use hdp_osr::core::{
+    derive_batch_seed, BatchServer, HdpOsr, HdpOsrConfig, OsrError, RingSink, ServingMode,
+    SnapshotStore,
+};
+use hdp_osr::core::snapshot::{decode_model, encode_model};
+use hdp_osr::dataset::protocol::TrainSet;
+use hdp_osr::stats::sampling;
+use hdp_osr::stats::snapshot::{SnapshotError, SnapshotWriter, SNAPSHOT_FORMAT_VERSION};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 20_26;
+
+fn blob(rng: &mut StdRng, cx: f64, cy: f64, n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| {
+            vec![
+                cx + 0.5 * sampling::standard_normal(rng),
+                cy + 0.5 * sampling::standard_normal(rng),
+            ]
+        })
+        .collect()
+}
+
+/// The suite's fixed scene — deliberately identical to the golden-trace
+/// suite's: two separated known classes, four batches (known / known /
+/// unknown / mixed). Everything derives from literal seeds.
+fn model_and_batches() -> (HdpOsr, Vec<Vec<Vec<f64>>>) {
+    let mut rng = StdRng::seed_from_u64(314);
+    let train = TrainSet {
+        class_ids: vec![1, 2],
+        classes: vec![blob(&mut rng, -6.0, 0.0, 40), blob(&mut rng, 6.0, 0.0, 40)],
+    };
+    let config = HdpOsrConfig {
+        iterations: 12,
+        decision_sweeps: 3,
+        serving: ServingMode::WarmStart,
+        ..Default::default()
+    };
+    let model = HdpOsr::fit(&config, &train).expect("clean fit");
+    let batches = vec![
+        blob(&mut rng, -6.0, 0.0, 12),
+        blob(&mut rng, 6.0, 0.0, 12),
+        blob(&mut rng, 0.0, 9.0, 12),
+        {
+            let mut mixed = blob(&mut rng, -6.0, 0.0, 6);
+            mixed.extend(blob(&mut rng, 0.0, 9.0, 6));
+            mixed
+        },
+    ];
+    (model, batches)
+}
+
+fn temp_store(name: &str) -> SnapshotStore {
+    let dir = std::env::temp_dir().join(format!("osr_snap_persist_{}", std::process::id()));
+    SnapshotStore::new(dir.join(format!("{name}.bin")))
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens").join(name)
+}
+
+/// Compare `actual` against the committed golden, or rewrite the golden
+/// when `UPDATE_GOLDENS` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        fs::create_dir_all(path.parent().expect("goldens dir has a parent")).expect("mkdir");
+        fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden `{name}` ({e}); regenerate with UPDATE_GOLDENS=1")
+    });
+    assert_eq!(actual, expected, "golden `{name}` drifted; see tests/goldens/");
+}
+
+/// Serve the batches on `model` and return the JSONL trace stream.
+fn trace_stream(model: &HdpOsr, batches: &[Vec<Vec<f64>>], workers: usize) -> String {
+    let sink = Arc::new(RingSink::new(64));
+    let results = BatchServer::with_workers(model, workers)
+        .with_trace_sink(sink.clone())
+        .classify_batches(batches, SEED);
+    for result in &results {
+        result.as_ref().expect("healthy batch");
+    }
+    let mut out = String::new();
+    for record in sink.records() {
+        out.push_str(&record.to_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn save_load_resave_round_trip_is_byte_identical() {
+    let (model, _) = model_and_batches();
+    let store = temp_store("round_trip");
+    let info = store.save(&model).expect("healthy save");
+    assert_eq!(info.format_version, SNAPSHOT_FORMAT_VERSION);
+    assert_eq!(info.method, "cdosr");
+
+    let first = store.load_bytes().expect("saved bytes");
+    assert_eq!(first.len(), info.bytes);
+    let reloaded = store.load().expect("clean load");
+
+    // Re-save through the store (not just re-encode): the full
+    // save → load → re-save cycle must reproduce the file byte-for-byte.
+    let store2 = temp_store("round_trip_resaved");
+    store2.save(&reloaded).expect("re-save");
+    assert_eq!(store2.load_bytes().unwrap(), first, "re-saved container drifted");
+
+    // And a third generation stays fixed (the cycle is idempotent, not
+    // merely 2-periodic).
+    let reloaded2 = store2.load().expect("clean second load");
+    assert_eq!(encode_model(&reloaded2).unwrap(), first);
+    let _ = fs::remove_file(store.path());
+    let _ = fs::remove_file(store2.path());
+}
+
+#[test]
+fn every_corruption_mode_is_a_typed_error_never_a_panic() {
+    let (model, _) = model_and_batches();
+    let good = encode_model(&model).expect("encode");
+
+    // Truncation at every prefix length: always a typed error.
+    for len in 0..good.len().min(200) {
+        assert!(decode_model(&good[..len]).is_err(), "prefix {len} decoded");
+    }
+    for len in (200..good.len()).step_by(97) {
+        assert!(decode_model(&good[..len]).is_err(), "prefix {len} decoded");
+    }
+
+    // A single flipped bit anywhere in the container is detected. Every
+    // byte position is cheap enough to sweep exhaustively here because the
+    // scene is small.
+    for pos in 0..good.len() {
+        let mut bad = good.clone();
+        bad[pos] ^= 0x40;
+        assert!(decode_model(&bad).is_err(), "flip at byte {pos} decoded");
+    }
+
+    // Trailing garbage after a valid container.
+    let mut padded = good.clone();
+    padded.extend_from_slice(&[0u8; 7]);
+    assert!(decode_model(&padded).is_err(), "trailing garbage decoded");
+
+    // A future format version (with a consistent header) is version skew.
+    let future = SnapshotWriter::with_version(SNAPSHOT_FORMAT_VERSION + 1, "cdosr", 2).finish();
+    assert!(matches!(
+        decode_model(&future),
+        Err(SnapshotError::VersionSkew { found, supported })
+            if found == SNAPSHOT_FORMAT_VERSION + 1 && supported == SNAPSHOT_FORMAT_VERSION
+    ));
+
+    // A container written by a different method is rejected by tag, not by
+    // section shape.
+    let foreign = SnapshotWriter::new("wsvm", 2).finish();
+    assert!(matches!(
+        decode_model(&foreign),
+        Err(SnapshotError::MethodMismatch { expected, got })
+            if expected == "cdosr" && got == "wsvm"
+    ));
+
+    // A well-formed container with no sections is a typed missing-section
+    // error.
+    let empty = SnapshotWriter::new("cdosr", 2).finish();
+    assert!(matches!(decode_model(&empty), Err(SnapshotError::MissingSection { .. })));
+}
+
+#[test]
+fn save_is_atomic_and_leaves_no_temp_residue() {
+    let (model, _) = model_and_batches();
+    let store = temp_store("atomic");
+    store.save(&model).expect("first save");
+    store.save(&model).expect("second save over the first");
+
+    let dir = store.path().parent().expect("store has a parent dir");
+    let residue: Vec<_> = fs::read_dir(dir)
+        .expect("readable store dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".tmp"))
+        .collect();
+    assert!(residue.is_empty(), "temp files left behind: {residue:?}");
+
+    // A failed save (cold model has nothing to persist) must not clobber
+    // the last-good file.
+    let before = store.load_bytes().unwrap();
+    let mut rng = StdRng::seed_from_u64(314);
+    let train = TrainSet {
+        class_ids: vec![1, 2],
+        classes: vec![blob(&mut rng, -6.0, 0.0, 40), blob(&mut rng, 6.0, 0.0, 40)],
+    };
+    let cold = HdpOsr::fit(
+        &HdpOsrConfig {
+            iterations: 12,
+            serving: ServingMode::ColdStart,
+            ..Default::default()
+        },
+        &train,
+    )
+    .expect("cold fit");
+    assert!(matches!(store.save(&cold), Err(OsrError::Snapshot(_))));
+    assert_eq!(store.load_bytes().unwrap(), before, "failed save touched last-good");
+    let _ = fs::remove_file(store.path());
+}
+
+#[test]
+fn replica_fleet_loading_one_snapshot_serves_byte_identical_streams() {
+    let (model, batches) = model_and_batches();
+    let store = temp_store("fleet");
+    store.save(&model).expect("healthy save");
+
+    // Three replicas, each a fresh process-like load of the same file,
+    // serving the same traffic under different worker counts: the streams
+    // must be byte-identical to each other and to the committed golden.
+    let replicas: Vec<HdpOsr> =
+        (0..3).map(|_| store.load().expect("replica load")).collect();
+    let streams: Vec<String> = replicas
+        .iter()
+        .zip([1usize, 2, 8])
+        .map(|(replica, workers)| trace_stream(replica, &batches, workers))
+        .collect();
+    assert_eq!(streams[0], streams[1], "replica 1 diverged from replica 0");
+    assert_eq!(streams[0], streams[2], "replica 2 diverged from replica 0");
+
+    // The fleet must also match the *writer* serving the same traffic: a
+    // reloaded replica is indistinguishable from the original model.
+    let writer_stream = trace_stream(&model, &batches, 2);
+    assert_eq!(streams[0], writer_stream, "replica diverged from the writer model");
+
+    check_golden("replica_stream.jsonl", &streams[0]);
+    let _ = fs::remove_file(store.path());
+}
+
+#[test]
+fn partitioned_traffic_across_replicas_matches_one_replica_serving_all() {
+    let (model, batches) = model_and_batches();
+    let store = temp_store("partition");
+    store.save(&model).expect("healthy save");
+
+    let full_server_model = store.load().expect("load");
+    let full = BatchServer::with_workers(&full_server_model, 2).classify_batches(&batches, SEED);
+
+    // Partition the traffic: replica r serves batch j alone, seeding its
+    // singleton run with `derive_batch_seed(SEED, j)`. Because
+    // `derive_batch_seed(x, 0) == x`, the singleton's batch 0 replays the
+    // fleet seed schedule exactly — per-batch outcomes are a pure function
+    // of (snapshot bytes, batch, derived seed), not of which replica or
+    // slot served them.
+    for (j, batch) in batches.iter().enumerate() {
+        let replica = store.load().expect("replica load");
+        let solo = BatchServer::with_workers(&replica, 1)
+            .classify_batches(std::slice::from_ref(batch), derive_batch_seed(SEED, j));
+        let solo_outcome = solo[0].as_ref().expect("healthy singleton");
+        let full_outcome = full[j].as_ref().expect("healthy fleet batch");
+        assert_eq!(solo_outcome.predictions, full_outcome.predictions, "batch {j}");
+        assert_eq!(solo_outcome.test_dishes, full_outcome.test_dishes, "batch {j}");
+        assert_eq!(
+            solo_outcome.log_likelihood.to_bits(),
+            full_outcome.log_likelihood.to_bits(),
+            "batch {j}"
+        );
+        assert_eq!(solo_outcome.gamma.to_bits(), full_outcome.gamma.to_bits(), "batch {j}");
+        assert_eq!(solo_outcome.alpha.to_bits(), full_outcome.alpha.to_bits(), "batch {j}");
+    }
+    let _ = fs::remove_file(store.path());
+}
+
+#[test]
+fn snapshot_info_inspection_is_cheap_and_accurate() {
+    let (model, _) = model_and_batches();
+    let store = temp_store("inspect");
+    let saved = store.save(&model).expect("save");
+    let inspected = store.inspect().expect("inspect");
+    assert_eq!(saved, inspected);
+    assert_eq!(inspected.dim, 2);
+    assert!(inspected.n_sections >= 6, "config + five posterior sections");
+    assert_eq!(inspected.bytes, store.load_bytes().unwrap().len());
+    let _ = fs::remove_file(store.path());
+}
