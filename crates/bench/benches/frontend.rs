@@ -1,0 +1,235 @@
+//! Open-loop Poisson load through the multi-tenant coalescing front-end.
+//!
+//! Singleton requests for two tenants arrive on an open-loop Poisson clock
+//! (precomputed exponential inter-arrival gaps, so a slow server cannot
+//! throttle the offered load). Each request is enqueued into the
+//! [`Frontend`], coalesced into collective-decision micro-batches under the
+//! size/deadline policy, and dispatched onto warm CD-OSR models from the
+//! [`ModelRegistry`]. End-to-end latency is measured per request from its
+//! arrival instant to the completion of the dispatch round that answered
+//! it; the sustained rate, p50/p99 latency, and the front-end's own flush
+//! counters land in `BENCH_frontend.json` at the repository root.
+//!
+//! ```text
+//! cargo bench -p osr-bench --bench frontend
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use hdp_osr_core::{
+    Frontend, FrontendConfig, HdpOsr, HdpOsrConfig, ModelRegistry, ServePolicy, ServingMode,
+};
+use osr_dataset::protocol::TrainSet;
+use osr_stats::counters::{
+    frontend_enqueued, frontend_flushes_deadline, frontend_flushes_size, frontend_shed,
+};
+use osr_stats::sampling;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+const SCHEMA: u32 = 1;
+const SEED: u64 = 2_026;
+const TENANTS: [&str; 2] = ["acme", "beta"];
+const REQUESTS: usize = 1_500;
+/// Offered load, requests per second across all tenants — high enough that
+/// size flushes and deadline flushes both occur at the chosen SLO.
+const OFFERED_RPS: f64 = 1_500.0;
+const WORKERS: usize = 2;
+const MAX_BATCH: usize = 4;
+/// Coalescing SLO: a queued request waits at most this long for siblings.
+const MAX_DELAY_NS: u64 = 5_000_000;
+
+#[derive(Serialize)]
+struct Report {
+    schema: u32,
+    seed: u64,
+    tenants: usize,
+    workers: usize,
+    max_batch: usize,
+    max_delay_ms: f64,
+    requests: usize,
+    enqueued: u64,
+    answered: usize,
+    shed: u64,
+    offered_rps: f64,
+    sustained_rps: f64,
+    duration_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    flushes_size: u64,
+    flushes_deadline: u64,
+    mean_batch_fill: f64,
+}
+
+fn blob(rng: &mut StdRng, cx: f64, cy: f64, n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|_| {
+            vec![
+                cx + 0.5 * sampling::standard_normal(rng),
+                cy + 0.5 * sampling::standard_normal(rng),
+            ]
+        })
+        .collect()
+}
+
+fn tenant_model(seed: u64) -> HdpOsr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = TrainSet {
+        class_ids: vec![1, 2],
+        classes: vec![blob(&mut rng, -6.0, 0.0, 30), blob(&mut rng, 6.0, 0.0, 30)],
+    };
+    let config = HdpOsrConfig {
+        iterations: 10,
+        decision_sweeps: 2,
+        serving: ServingMode::WarmStart,
+        ..Default::default()
+    };
+    HdpOsr::fit(&config, &train).expect("clean fit")
+}
+
+/// One scripted arrival of the open-loop load: when, who, what.
+struct Arrival {
+    at_ns: u64,
+    tenant: &'static str,
+    point: Vec<f64>,
+}
+
+/// Precompute the whole Poisson arrival script so the load is truly
+/// open-loop: arrival times never depend on how fast the server answers.
+fn arrival_script(rng: &mut StdRng) -> Vec<Arrival> {
+    let mut at_ns = 0u64;
+    (0..REQUESTS)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let gap_s = -u.ln() / OFFERED_RPS;
+            at_ns += (gap_s * 1e9) as u64;
+            let tenant = TENANTS[rng.gen_range(0..TENANTS.len())];
+            let (cx, cy) = if rng.gen_range(0.0..1.0) < 0.8 {
+                (if rng.gen_range(0.0..1.0) < 0.5 { -6.0 } else { 6.0 }, 0.0)
+            } else {
+                (0.0, 9.0) // an unknown-category point: the open-set case
+            };
+            Arrival { at_ns, tenant, point: vec![cx + 0.3 * sampling::standard_normal(rng), cy] }
+        })
+        .collect()
+}
+
+fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1e6
+}
+
+fn main() {
+    let registry = ModelRegistry::new(TENANTS.len());
+    registry.insert("acme", Arc::new(tenant_model(11)));
+    registry.insert("beta", Arc::new(tenant_model(23)));
+    let mut frontend = Frontend::new(FrontendConfig {
+        dim: 2,
+        max_batch: MAX_BATCH,
+        max_delay_ns: MAX_DELAY_NS,
+        max_queue_depth: 4 * MAX_BATCH,
+        base_seed: SEED,
+    })
+    .expect("valid config");
+    let policy = ServePolicy::default();
+
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let script = arrival_script(&mut rng);
+    eprintln!(
+        "frontend bench: {} requests over {} tenants at {OFFERED_RPS} req/s, \
+         max_batch {MAX_BATCH}, SLO {} ms, {WORKERS} workers",
+        script.len(),
+        TENANTS.len(),
+        MAX_DELAY_NS as f64 / 1e6
+    );
+
+    let enqueued_before = frontend_enqueued();
+    let shed_before = frontend_shed();
+    let size_before = frontend_flushes_size();
+    let deadline_before = frontend_flushes_deadline();
+
+    let start = Instant::now();
+    let mut submit_ns: HashMap<u64, u64> = HashMap::with_capacity(script.len());
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(script.len());
+    let mut batch_fills: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    loop {
+        let now = start.elapsed().as_nanos() as u64;
+        // Admit every arrival whose clock has come (open loop: no waiting
+        // on the server), oldest first.
+        while next < script.len() && script[next].at_ns <= now {
+            let arrival = &script[next];
+            // An Err here is a shed under overload; the counter records it.
+            if let Ok(id) = frontend.enqueue(arrival.tenant, arrival.point.clone(), arrival.at_ns)
+            {
+                submit_ns.insert(id, arrival.at_ns);
+            }
+            next += 1;
+        }
+        let drained = next >= script.len();
+        if drained {
+            frontend.flush_all(now);
+        } else {
+            frontend.poll(now);
+        }
+        if frontend.ready_batches() > 0 {
+            let outcomes = frontend.dispatch(&registry, WORKERS, &policy, None);
+            let done = start.elapsed().as_nanos() as u64;
+            for flush in &outcomes {
+                batch_fills.push(flush.responses.len());
+                for response in &flush.responses {
+                    let submitted =
+                        submit_ns.get(&response.request_id).copied().unwrap_or(done);
+                    latencies_ns.push(done.saturating_sub(submitted));
+                }
+            }
+        }
+        if drained && frontend.queue_depth() == 0 {
+            break;
+        }
+        std::hint::spin_loop();
+    }
+    let duration_s = start.elapsed().as_secs_f64();
+
+    latencies_ns.sort_unstable();
+    let answered = latencies_ns.len();
+    let report = Report {
+        schema: SCHEMA,
+        seed: SEED,
+        tenants: TENANTS.len(),
+        workers: WORKERS,
+        max_batch: MAX_BATCH,
+        max_delay_ms: MAX_DELAY_NS as f64 / 1e6,
+        requests: script.len(),
+        enqueued: frontend_enqueued() - enqueued_before,
+        answered,
+        shed: frontend_shed() - shed_before,
+        offered_rps: OFFERED_RPS,
+        sustained_rps: answered as f64 / duration_s,
+        duration_s,
+        p50_ms: percentile_ms(&latencies_ns, 0.50),
+        p99_ms: percentile_ms(&latencies_ns, 0.99),
+        max_ms: percentile_ms(&latencies_ns, 1.0),
+        flushes_size: frontend_flushes_size() - size_before,
+        flushes_deadline: frontend_flushes_deadline() - deadline_before,
+        mean_batch_fill: batch_fills.iter().sum::<usize>() as f64
+            / batch_fills.len().max(1) as f64,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    println!("{json}");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frontend.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_frontend.json");
+    eprintln!(
+        "sustained {:.0} req/s, p50 {:.2} ms, p99 {:.2} ms ({} size / {} deadline flushes) -> {path}",
+        report.sustained_rps, report.p50_ms, report.p99_ms, report.flushes_size,
+        report.flushes_deadline
+    );
+}

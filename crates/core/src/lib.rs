@@ -37,10 +37,12 @@ pub mod admission;
 pub mod collective;
 mod decision;
 pub mod discovery;
+pub mod frontend;
 pub mod inductive;
 pub mod kmeans;
 mod model;
 pub mod observability;
+pub mod registry;
 mod serving;
 pub mod snapshot;
 
@@ -49,12 +51,18 @@ pub use collective::{
 };
 pub use decision::{ClassifyOutcome, DegradeReason, Prediction, ServedVia};
 pub use discovery::SubclassReport;
+pub use frontend::{
+    flush_seed, flush_trace_id, FlushOutcome, Frontend, FrontendConfig, MicroBatch, QueuedRequest,
+    Response,
+};
 pub use inductive::FrozenModel;
 pub use kmeans::{kmeans, refine_unknown_classes, KMeansResult, RefinedUnknownClass};
 pub use model::{HdpOsr, HdpOsrConfig};
 pub use observability::{
-    batch_trace_id, BatchTrace, FitReport, JsonlSink, RingSink, TraceRecord, TraceSink,
+    batch_trace_id, BatchTrace, FitReport, FlushTrace, FlushTrigger, JsonlSink, RingSink,
+    TraceRecord, TraceSink,
 };
+pub use registry::ModelRegistry;
 pub use osr_hdp::{DishId, PosteriorSnapshot, SweepTrace};
 pub use osr_stats::diagnostics::ChainDiagnostics;
 pub use serving::{derive_batch_seed, BatchServer, RetryPolicy, ServePolicy, ServingMode};
@@ -103,6 +111,18 @@ pub enum OsrError {
     /// slot was never claimed. The batch's state was discarded; sibling
     /// batches are unaffected.
     Internal(String),
+    /// Front-end admission: the tenant's undispatched backlog is at its
+    /// fairness bound, so the request was shed instead of queued (the
+    /// caller may retry after backoff; sibling tenants are unaffected).
+    Overloaded {
+        /// The tenant whose queue is full.
+        tenant: String,
+        /// The tenant's undispatched request count at rejection time.
+        depth: usize,
+    },
+    /// Front-end routing: no warm model is registered for the tenant and
+    /// no durable snapshot could be cold-loaded for it.
+    UnknownTenant(String),
     /// Propagated sampler failure.
     Hdp(osr_hdp::HdpError),
     /// Propagated statistics failure.
@@ -130,6 +150,12 @@ impl std::fmt::Display for OsrError {
                 write!(f, "sampler diverged after {attempts} attempt(s): {reason}")
             }
             Self::Internal(m) => write!(f, "internal serving failure: {m}"),
+            Self::Overloaded { tenant, depth } => {
+                write!(f, "tenant {tenant} is overloaded ({depth} undispatched requests); request shed")
+            }
+            Self::UnknownTenant(tenant) => {
+                write!(f, "no model registered or durably stored for tenant {tenant}")
+            }
             Self::Hdp(e) => write!(f, "sampler failure: {e}"),
             Self::Stats(e) => write!(f, "statistics failure: {e}"),
             Self::Snapshot(e) => write!(f, "snapshot failure: {e}"),

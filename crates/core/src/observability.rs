@@ -122,6 +122,42 @@ impl Deserialize for BatchTrace {
     }
 }
 
+/// What made the front-end flush a micro-batch out of a tenant queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlushTrigger {
+    /// The tenant queue reached `max_batch` queued requests.
+    Size,
+    /// The oldest queued request hit the latency SLO (`max_delay_ns`), or
+    /// the front-end was drained.
+    Deadline,
+}
+
+/// Structured record of one coalesced micro-batch served through the
+/// front-end ([`crate::frontend::Frontend`]).
+///
+/// Wraps the underlying [`BatchTrace`] — re-stamped with the flush's
+/// reproducible trace id and its global flush sequence number — and adds
+/// the coalescing metadata: which tenant, which per-tenant flush epoch,
+/// what triggered the flush, and which request ids rode in the batch.
+/// Everything here is a pure function of the arrival script and the
+/// front-end configuration, so the stream is byte-identical across worker
+/// counts and arrival interleavings within a flush.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlushTrace {
+    /// Tenant whose queue produced this micro-batch.
+    pub tenant: String,
+    /// Per-tenant flush epoch (0-based); with the tenant it determines the
+    /// batch seed via [`crate::frontend::flush_seed`].
+    pub flush_epoch: u64,
+    /// What fired the flush.
+    pub trigger: FlushTrigger,
+    /// Request ids coalesced into the batch, in arrival order.
+    pub requests: Vec<u64>,
+    /// The serve trace, with `trace_id` set to the flush's id and `batch`
+    /// set to the global flush sequence number.
+    pub batch: BatchTrace,
+}
+
 /// One line of the structured trace stream.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum TraceRecord {
@@ -129,6 +165,8 @@ pub enum TraceRecord {
     Fit(FitReport),
     /// A served batch.
     Batch(BatchTrace),
+    /// A coalesced micro-batch served through the front-end.
+    Flush(FlushTrace),
 }
 
 impl TraceRecord {
@@ -304,6 +342,39 @@ mod tests {
     }
 
     #[test]
+    fn flush_records_roundtrip_through_jsonl() {
+        let record = TraceRecord::Flush(FlushTrace {
+            tenant: "acme".to_string(),
+            flush_epoch: 2,
+            trigger: FlushTrigger::Size,
+            requests: vec![4, 9, 17],
+            batch: BatchTrace {
+                trace_id: "flush-acme-0002-seed-0000000000000007".to_string(),
+                batch: 5,
+                method: CDOSR_METHOD.to_string(),
+                attempts: 1,
+                served_via: ServedVia::Warm,
+                inherited_poison: false,
+                sweeps: vec![sweep(0, -3.0)],
+            },
+        });
+        let line = record.to_jsonl();
+        assert!(!line.contains('\n'), "one record = one line");
+        assert!(!line.contains("wall_ns"), "wall time must stay out of the stream");
+        match TraceRecord::from_jsonl(&line).unwrap() {
+            TraceRecord::Flush(f) => {
+                assert_eq!(f.tenant, "acme");
+                assert_eq!(f.flush_epoch, 2);
+                assert_eq!(f.trigger, FlushTrigger::Size);
+                assert_eq!(f.requests, vec![4, 9, 17]);
+                assert_eq!(f.batch.batch, 5);
+                assert_eq!(f.batch.method, CDOSR_METHOD);
+            }
+            other => panic!("round-trip changed the variant: {other:?}"),
+        }
+    }
+
+    #[test]
     fn baseline_records_carry_an_explicit_method_tag() {
         let batch = TraceRecord::Batch(BatchTrace {
             trace_id: batch_trace_id(4, 1),
@@ -343,7 +414,7 @@ mod tests {
             .iter()
             .map(|r| match r {
                 TraceRecord::Batch(b) => b.batch,
-                TraceRecord::Fit(_) => unreachable!(),
+                TraceRecord::Fit(_) | TraceRecord::Flush(_) => unreachable!(),
             })
             .collect();
         assert_eq!(kept, vec![2, 3], "oldest records are evicted first");

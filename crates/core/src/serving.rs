@@ -685,7 +685,7 @@ fn with_fault_context<T>(_batch: usize, _attempt: u32, f: impl FnOnce() -> T) ->
 }
 
 /// Best-effort human-readable panic payload.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -849,6 +849,37 @@ impl<'a> BatchServer<'a> {
                 })
             })
             .collect()
+    }
+
+    /// Serve one batch on the calling thread under an explicit per-batch
+    /// seed, with the same panic isolation and divergence scrubbing as a
+    /// `classify_batches` worker slot. The batch runs as index 0, and
+    /// [`derive_batch_seed`]`(seed, 0) == seed`, so the attempt RNG is
+    /// seeded by exactly `seed` — this is the front-end's entry point: it
+    /// derives one seed per `(tenant, flush_epoch)` and gets a trace
+    /// reproducible regardless of arrival interleaving or worker count.
+    ///
+    /// The returned [`BatchTrace`] (for answered batches) is handed to the
+    /// caller instead of the sink: a front-end re-stamps it with the flush's
+    /// identity before emission.
+    pub fn serve_seeded(
+        &self,
+        batch: &[Vec<f64>],
+        seed: u64,
+    ) -> (Result<ClassifyOutcome>, Option<BatchTrace>) {
+        let served = catch_unwind(AssertUnwindSafe(|| self.serve_one(0, batch, seed)));
+        // Same scrub as the worker loop: a panicked or abandoned attempt
+        // must not leak thread-local poison into the caller's next serve.
+        osr_stats::divergence::clear();
+        served.unwrap_or_else(|payload| {
+            (
+                Err(OsrError::Internal(format!(
+                    "batch worker panicked: {}",
+                    panic_message(payload)
+                ))),
+                None,
+            )
+        })
     }
 
     /// Serve batch `idx` under the full fault-tolerance policy: admission,
@@ -1116,6 +1147,19 @@ mod tests {
             let sequential = model.classify(batch, &mut rng).unwrap();
             assert_eq!(result.unwrap().predictions, sequential);
         }
+    }
+
+    #[test]
+    fn serve_seeded_matches_sequential_classify() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let (train, test) = scenario(&mut rng);
+        let model = HdpOsr::fit(&config(ServingMode::WarmStart), &train).unwrap();
+        let server = BatchServer::with_workers(&model, 1);
+        let (outcome, trace) = server.serve_seeded(&test[..10], 77);
+        let sequential =
+            model.classify(&test[..10], &mut StdRng::seed_from_u64(77)).unwrap();
+        assert_eq!(outcome.unwrap().predictions, sequential);
+        assert!(trace.is_some(), "an answered batch carries its trace");
     }
 
     #[test]

@@ -1,0 +1,21 @@
+//! Fixture: the coalescing front-end rides the panic-isolated dispatch path
+//! and the `Relaxed`-only work-stealing counter.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn next_slot(counter: &AtomicUsize) -> usize {
+    counter.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn first_waiter(ids: &[u64]) -> u64 {
+    ids[0]
+}
+
+pub fn seal(pending: &mut Vec<u64>) -> u64 {
+    pending.pop().unwrap()
+}
+
+pub fn injected_flush_panic() {
+    // osr-lint: allow(panic-path, fixture — the catch_unwind above is under test)
+    panic!("injected flush panic");
+}

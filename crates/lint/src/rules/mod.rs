@@ -57,6 +57,8 @@ pub const PANIC_FREE_FILES: &[&str] = &[
     "crates/core/src/serving.rs",
     "crates/core/src/admission.rs",
     "crates/core/src/collective.rs",
+    "crates/core/src/frontend.rs",
+    "crates/core/src/registry.rs",
     "crates/core/src/snapshot.rs",
     "crates/baselines/src/serve.rs",
     "crates/hdp/src/engine.rs",
@@ -73,6 +75,8 @@ pub const SEQCST_FILES: &[&str] = &[
     "crates/stats/src/metrics.rs",
     "crates/stats/src/counters.rs",
     "crates/core/src/serving.rs",
+    "crates/core/src/frontend.rs",
+    "crates/core/src/registry.rs",
 ];
 
 /// The dish-bank module whose fused predictive kernels must stay

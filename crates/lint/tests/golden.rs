@@ -7,7 +7,8 @@
 //! `crates/baselines/src/serve.rs`, an `allow-file` pragma in
 //! `crates/hdp/src/engine.rs`, hash iteration in the sampler, serialized
 //! wall clock in the trace module, SAFETY-less `unsafe` in a vendored shim,
-//! and an orphaned fault site. A report drift — new rule, changed message,
+//! an orphaned fault site, and the front-end's panic/index/SeqCst triple in
+//! `crates/core/src/frontend.rs`. A report drift — new rule, changed message,
 //! changed ordering — shows up here as a readable diff.
 
 use std::path::Path;
@@ -27,9 +28,9 @@ fn fixture_tree_json_matches_golden() {
 #[test]
 fn fixture_tree_counts() {
     let report = osr_lint::run(&fixture_root(), false).expect("scan fixture tree");
-    assert_eq!(report.files_scanned, 15);
-    assert_eq!(report.violations.len(), 21);
-    assert_eq!(report.allowed, 6, "three trailing allows + three allow-file suppressions");
+    assert_eq!(report.files_scanned, 16);
+    assert_eq!(report.violations.len(), 24);
+    assert_eq!(report.allowed, 7, "four trailing allows + three allow-file suppressions");
 }
 
 #[test]
@@ -50,5 +51,8 @@ fn human_rendering_carries_spans_and_rules() {
     assert!(human.contains("crates/baselines/src/serve.rs:4: [unchecked-index]"));
     assert!(human.contains("crates/core/src/snapshot.rs:4: [snapshot-versioned]"));
     assert!(human.contains("crates/stats/src/snapshot.rs:10: [snapshot-versioned]"));
-    assert!(human.contains("21 violation(s)"));
+    assert!(human.contains("crates/core/src/frontend.rs:7: [seqcst-atomic]"));
+    assert!(human.contains("crates/core/src/frontend.rs:11: [unchecked-index]"));
+    assert!(human.contains("crates/core/src/frontend.rs:15: [panic-path]"));
+    assert!(human.contains("24 violation(s)"));
 }

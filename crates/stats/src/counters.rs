@@ -20,7 +20,7 @@
 
 use std::sync::OnceLock;
 
-use crate::metrics::{global, Counter, Histogram};
+use crate::metrics::{global, Counter, Gauge, Histogram};
 
 /// Registry name of the posterior-predictive evaluation counter.
 pub const PREDICTIVE_LOGPDF_CALLS: &str = "stats.predictive_logpdf_calls";
@@ -48,6 +48,28 @@ pub const SNAPSHOT_LOAD_FAILURES: &str = "snapshot.load_failures";
 /// reloading the last-good on-disk snapshot after in-memory state was lost
 /// or rejected).
 pub const DURABLE_RECOVERIES: &str = "serving.durable_recoveries";
+/// Registry name of the front-end enqueue counter (singleton requests
+/// admitted into a tenant queue).
+pub const FRONTEND_ENQUEUED: &str = "frontend.enqueued";
+/// Registry name of the front-end size-flush counter (micro-batches flushed
+/// because a tenant queue reached `max_batch`).
+pub const FRONTEND_FLUSHES_SIZE: &str = "frontend.flushes_size";
+/// Registry name of the front-end deadline-flush counter (micro-batches
+/// flushed because the oldest queued request hit the latency SLO).
+pub const FRONTEND_FLUSHES_DEADLINE: &str = "frontend.flushes_deadline";
+/// Registry name of the front-end shed counter (requests rejected with a
+/// typed overload error instead of joining a full tenant queue).
+pub const FRONTEND_SHED: &str = "frontend.shed";
+/// Registry name of the front-end queue-depth gauge (total requests queued
+/// or flushed-but-undispatched across all tenants, updated on every
+/// enqueue/flush/dispatch transition).
+pub const FRONTEND_QUEUE_DEPTH: &str = "frontend.queue_depth";
+/// Registry name of the model-registry cold-load counter (tenants whose
+/// warm model was materialized from the durable snapshot store on demand).
+pub const FRONTEND_COLD_LOADS: &str = "frontend.cold_loads";
+/// Registry name of the model-registry eviction counter (warm models
+/// dropped by the LRU bound to admit another tenant).
+pub const FRONTEND_EVICTIONS: &str = "frontend.evictions";
 
 fn handle(cell: &'static OnceLock<Counter>, name: &str) -> &'static Counter {
     cell.get_or_init(|| global().counter(name))
@@ -101,6 +123,41 @@ fn snapshot_load_failures_handle() -> &'static Counter {
 fn durable_recoveries_handle() -> &'static Counter {
     static CELL: OnceLock<Counter> = OnceLock::new();
     handle(&CELL, DURABLE_RECOVERIES)
+}
+
+fn frontend_enqueued_handle() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    handle(&CELL, FRONTEND_ENQUEUED)
+}
+
+fn frontend_flushes_size_handle() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    handle(&CELL, FRONTEND_FLUSHES_SIZE)
+}
+
+fn frontend_flushes_deadline_handle() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    handle(&CELL, FRONTEND_FLUSHES_DEADLINE)
+}
+
+fn frontend_shed_handle() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    handle(&CELL, FRONTEND_SHED)
+}
+
+fn frontend_queue_depth_handle() -> &'static Gauge {
+    static CELL: OnceLock<Gauge> = OnceLock::new();
+    CELL.get_or_init(|| global().gauge(FRONTEND_QUEUE_DEPTH))
+}
+
+fn frontend_cold_loads_handle() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    handle(&CELL, FRONTEND_COLD_LOADS)
+}
+
+fn frontend_evictions_handle() -> &'static Counter {
+    static CELL: OnceLock<Counter> = OnceLock::new();
+    handle(&CELL, FRONTEND_EVICTIONS)
 }
 
 #[inline]
@@ -212,6 +269,85 @@ pub fn durable_recoveries() -> u64 {
     durable_recoveries_handle().get()
 }
 
+/// Record one singleton request admitted into a front-end tenant queue.
+#[inline]
+pub fn record_frontend_enqueued() {
+    frontend_enqueued_handle().inc();
+}
+
+/// Total front-end enqueues since process start.
+pub fn frontend_enqueued() -> u64 {
+    frontend_enqueued_handle().get()
+}
+
+/// Record one micro-batch flushed because its tenant queue filled up.
+#[inline]
+pub fn record_frontend_flush_size() {
+    frontend_flushes_size_handle().inc();
+}
+
+/// Total size-triggered front-end flushes since process start.
+pub fn frontend_flushes_size() -> u64 {
+    frontend_flushes_size_handle().get()
+}
+
+/// Record one micro-batch flushed because its oldest request hit the SLO
+/// deadline.
+#[inline]
+pub fn record_frontend_flush_deadline() {
+    frontend_flushes_deadline_handle().inc();
+}
+
+/// Total deadline-triggered front-end flushes since process start.
+pub fn frontend_flushes_deadline() -> u64 {
+    frontend_flushes_deadline_handle().get()
+}
+
+/// Record one request shed with a typed overload error.
+#[inline]
+pub fn record_frontend_shed() {
+    frontend_shed_handle().inc();
+}
+
+/// Total front-end sheds since process start.
+pub fn frontend_shed() -> u64 {
+    frontend_shed_handle().get()
+}
+
+/// Overwrite the front-end queue-depth gauge (requests admitted but not yet
+/// dispatched, across all tenants).
+#[inline]
+pub fn set_frontend_queue_depth(depth: f64) {
+    frontend_queue_depth_handle().set(depth);
+}
+
+/// Most recently published front-end queue depth.
+pub fn frontend_queue_depth() -> f64 {
+    frontend_queue_depth_handle().get()
+}
+
+/// Record one tenant model cold-loaded from the durable snapshot store.
+#[inline]
+pub fn record_frontend_cold_load() {
+    frontend_cold_loads_handle().inc();
+}
+
+/// Total registry cold loads since process start.
+pub fn frontend_cold_loads() -> u64 {
+    frontend_cold_loads_handle().get()
+}
+
+/// Record one warm model evicted by the registry's LRU bound.
+#[inline]
+pub fn record_frontend_eviction() {
+    frontend_evictions_handle().inc();
+}
+
+/// Total registry evictions since process start.
+pub fn frontend_evictions() -> u64 {
+    frontend_evictions_handle().get()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +367,26 @@ mod tests {
         record_serve_retry();
         let after = global().snapshot().counter(SERVE_RETRIES);
         assert!(after > before);
+    }
+
+    #[test]
+    fn frontend_metrics_reach_the_registry() {
+        let before = global().snapshot();
+        record_frontend_enqueued();
+        record_frontend_flush_size();
+        record_frontend_flush_deadline();
+        record_frontend_shed();
+        record_frontend_cold_load();
+        record_frontend_eviction();
+        set_frontend_queue_depth(3.0);
+        let delta = global().snapshot().delta_since(&before);
+        assert!(delta.counter(FRONTEND_ENQUEUED) >= 1);
+        assert!(delta.counter(FRONTEND_FLUSHES_SIZE) >= 1);
+        assert!(delta.counter(FRONTEND_FLUSHES_DEADLINE) >= 1);
+        assert!(delta.counter(FRONTEND_SHED) >= 1);
+        assert!(delta.counter(FRONTEND_COLD_LOADS) >= 1);
+        assert!(delta.counter(FRONTEND_EVICTIONS) >= 1);
+        assert_eq!(frontend_queue_depth(), 3.0);
     }
 
     #[test]

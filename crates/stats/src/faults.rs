@@ -119,6 +119,17 @@ pub mod sites {
     /// Inside the snapshot container's per-section CRC verification (a
     /// `Corrupt` here falsifies the computed checksum).
     pub const SNAPSHOT_CHECKSUM: &str = "snapshot::checksum";
+    /// Inside `Frontend::enqueue`, after per-point admission but before the
+    /// request joins its tenant queue. Any installed fault here forces the
+    /// shed path: the request is rejected with the typed overload error
+    /// exactly as if the tenant's queue were full. The context pair is
+    /// `(request_id as usize, 0)`.
+    pub const FRONTEND_ENQUEUE: &str = "frontend::enqueue";
+    /// Inside a front-end dispatch worker, before a flushed micro-batch is
+    /// handed to the batch server (a `Panic` here exercises per-micro-batch
+    /// isolation, a `DelayMs` stalls one flush). The context pair is
+    /// `(flush_seq as usize, 0)`.
+    pub const FRONTEND_FLUSH: &str = "frontend::flush";
 }
 
 static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);

@@ -62,6 +62,15 @@ cargo test -q -p osr-eval
 cargo test -q --test snapshot_persistence
 cargo test -q --features fault-inject --test snapshot_persistence
 
+# Multi-tenant front-end: the coalescing invariants (exactly-once answers,
+# no cross-tenant mixing, size/deadline flush conditions) and the golden
+# coalescing stream at 1/2/8 workers — under both feature sets, since the
+# frontend fault sites sit on the enqueue/flush path.
+cargo test -q --test frontend_invariants
+cargo test -q --features fault-inject --test frontend_invariants
+cargo test -q --test frontend_golden
+cargo test -q --features fault-inject --test frontend_golden
+
 # Bench-schema staleness: the committed serving benchmark report must carry
 # the kernel-invocation counters the SoA refactor added (PR 6) and the
 # method tag + serve counters of the method-agnostic schema (v2). A missing
@@ -85,6 +94,29 @@ for field in schema n_dishes bytes_on_disk save_median_us load_median_us; do
         exit 1
     fi
 done
+
+# Same staleness gate for the front-end load report (sustained open-loop
+# throughput and end-to-end latency percentiles through the coalescing
+# micro-batch path).
+for field in schema sustained_rps p50_ms p99_ms flushes_size flushes_deadline shed; do
+    if ! grep -q "\"$field\"" BENCH_frontend.json; then
+        echo "verify: FAIL — BENCH_frontend.json lacks '$field'; the report is stale," >&2
+        echo "        regenerate with: cargo bench -p osr-bench --bench frontend" >&2
+        exit 1
+    fi
+done
+
+# The committed coalescing golden must match what the front-end emits today:
+# the frontend_golden suite regenerates nothing, so byte-diff the file's
+# in-repo copy against a fresh UPDATE_GOLDENS run in a scratch checkout of
+# the golden only.
+cp tests/goldens/frontend_stream.jsonl results/frontend_stream_committed.jsonl
+UPDATE_GOLDENS=1 cargo test -q --test frontend_golden coalesced_stream_matches_committed_golden
+if ! diff -q tests/goldens/frontend_stream.jsonl results/frontend_stream_committed.jsonl; then
+    cp results/frontend_stream_committed.jsonl tests/goldens/frontend_stream.jsonl
+    echo "verify: FAIL — regenerated coalescing golden differs from the committed one" >&2
+    exit 1
+fi
 
 # Two identical seeded serving runs must write byte-identical trace streams.
 ./target/release/trace_dump --seed 2026 --out results/trace_verify_a.jsonl

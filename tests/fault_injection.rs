@@ -516,6 +516,133 @@ fn falsified_checksum_is_reported_as_a_checksum_mismatch() {
     let _ = std::fs::remove_file(store.path());
 }
 
+// ---------------------------------------------------------------------------
+// Front-end faults: a panicking micro-batch flush must be isolated to that
+// micro-batch (typed errors to every waiter, sibling tenants bit-identical),
+// and an enqueue fault must shed typed instead of blocking.
+// ---------------------------------------------------------------------------
+
+use hdp_osr::core::{FlushOutcome, FlushTrigger, Frontend, FrontendConfig, ModelRegistry};
+
+/// Two tenants sharing one warm CD-OSR model; each submits a full
+/// micro-batch, so dispatch serves flush seq 0 (`acme`) and 1 (`beta`).
+fn coalesce_two_tenants(model: &Arc<HdpOsr>) -> Vec<FlushOutcome> {
+    let registry = ModelRegistry::new(2);
+    registry.insert("acme", Arc::clone(model) as Arc<dyn CollectiveModel>);
+    registry.insert("beta", Arc::clone(model) as Arc<dyn CollectiveModel>);
+    let mut frontend = Frontend::new(FrontendConfig {
+        dim: 2,
+        max_batch: 4,
+        max_delay_ns: 1_000,
+        max_queue_depth: 32,
+        base_seed: SEED,
+    })
+    .expect("valid config");
+    let mut rng = StdRng::seed_from_u64(58);
+    for point in blob(&mut rng, -6.0, 0.0, 4) {
+        frontend.enqueue("acme", point, 0).expect("admitted");
+    }
+    for point in blob(&mut rng, 6.0, 0.0, 4) {
+        frontend.enqueue("beta", point, 5).expect("admitted");
+    }
+    assert_eq!(frontend.ready_batches(), 2, "both tenants size-flushed");
+    frontend.dispatch(&registry, 2, &ServePolicy::default(), None)
+}
+
+#[test]
+fn panicking_flush_is_isolated_to_its_micro_batch() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (model, _) = warm_model_and_batches();
+    let model = Arc::new(model);
+    let baseline = coalesce_two_tenants(&model);
+
+    // Flush seq 0 is `acme`'s micro-batch: its serve panics outright.
+    let _plan = install(FaultPlan::new().inject(
+        sites::FRONTEND_FLUSH,
+        Some(0),
+        None,
+        Fault::Panic { message: "injected flush panic".into() },
+    ));
+    let faulted = coalesce_two_tenants(&model);
+    assert_eq!(faulted.len(), 2);
+
+    // Every waiter of the failed micro-batch gets the typed error — no
+    // waiter is dropped, none blocks.
+    let acme = &faulted[0];
+    assert_eq!(acme.tenant, "acme");
+    assert_eq!(acme.trigger, FlushTrigger::Size);
+    assert_eq!(acme.responses.len(), 4, "all four waiters are answered");
+    match acme.outcome.as_ref().unwrap_err() {
+        OsrError::Internal(msg) => {
+            assert!(msg.contains("injected flush panic"), "message was: {msg}");
+        }
+        other => panic!("expected Internal from a panicking flush, got {other:?}"),
+    }
+    for response in &acme.responses {
+        match response.result.as_ref().unwrap_err() {
+            OsrError::Internal(msg) => {
+                assert!(msg.contains("injected flush panic"), "message was: {msg}");
+            }
+            other => panic!("waiter must see the typed flush error, got {other:?}"),
+        }
+    }
+
+    // The sibling tenant's micro-batch — served in the same dispatch round,
+    // possibly on the same worker — is bit-identical to the uninjected run.
+    let beta = &faulted[1];
+    assert_eq!(beta.tenant, "beta");
+    assert_bit_identical(
+        beta.outcome.as_ref().unwrap(),
+        baseline[1].outcome.as_ref().unwrap(),
+        "sibling tenant of a panicked micro-batch",
+    );
+    assert_eq!(
+        beta.responses.iter().map(|r| *r.result.as_ref().unwrap()).collect::<Vec<_>>(),
+        baseline[1]
+            .responses
+            .iter()
+            .map(|r| *r.result.as_ref().unwrap())
+            .collect::<Vec<_>>(),
+        "sibling waiters' answers drifted"
+    );
+}
+
+#[test]
+fn enqueue_fault_sheds_typed_instead_of_blocking() {
+    let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut frontend = Frontend::new(FrontendConfig {
+        dim: 2,
+        max_batch: 8,
+        max_delay_ns: 1_000,
+        max_queue_depth: 32,
+        base_seed: SEED,
+    })
+    .expect("valid config");
+
+    assert_eq!(frontend.enqueue("acme", vec![0.0, 0.0], 0).expect("healthy"), 0);
+    assert_eq!(frontend.enqueue("acme", vec![0.1, 0.0], 1).expect("healthy"), 1);
+
+    // The fault context at the enqueue site is the would-be request id:
+    // request 2's admission is forced onto the shed path.
+    let shed_before = counters::frontend_shed();
+    let plan =
+        install(FaultPlan::new().inject(sites::FRONTEND_ENQUEUE, Some(2), None, Fault::Corrupt));
+    match frontend.enqueue("acme", vec![0.2, 0.0], 2) {
+        Err(OsrError::Overloaded { tenant, depth }) => {
+            assert_eq!(tenant, "acme");
+            assert_eq!(depth, 2, "the backlog depth at rejection time");
+        }
+        other => panic!("expected a typed Overloaded shed, got {other:?}"),
+    }
+    assert_eq!(counters::frontend_shed() - shed_before, 1);
+    drop(plan);
+
+    // A shed consumes no request id and poisons nothing: admission resumes
+    // with the same id once the fault clears.
+    assert_eq!(frontend.enqueue("acme", vec![0.2, 0.0], 3).expect("healthy again"), 2);
+    assert_eq!(frontend.pending_requests(), 3);
+}
+
 #[test]
 fn cold_model_divergence_recovers_from_the_durable_snapshot() {
     let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
